@@ -1,0 +1,68 @@
+"""Section IV -- the cross-platform application on E-platform.
+
+Paper: CATS (pre-trained on Taobao's D0 only) is applied to ~4.5M items
+crawled from E-platform's public site; it reports 10,720 fraud items, of
+which a 1,000-item expert audit confirms 960 (precision 0.96).
+
+Measured here: the same crawl -> detect -> audit pipeline at harness
+scale, with crawl statistics.  Ground truth plays the auditors' role,
+which is *stricter* than the paper's human judgment of public signals.
+The benchmark times detection over the crawled items.
+"""
+
+from conftest import write_result
+
+from repro.analysis.reporting import render_table
+from repro.core.pipeline import audit_reported_items
+from repro.ml.metrics import precision_recall_f1
+
+
+def test_eplatform_application(
+    benchmark,
+    cats,
+    eplatform,
+    eplatform_crawl,
+    eplatform_items,
+    eplatform_features,
+    eplatform_labels,
+):
+    store, crawler = eplatform_crawl
+    report = benchmark(
+        lambda: cats.detect_with_features(eplatform_items, eplatform_features)
+    )
+
+    audit = audit_reported_items(
+        eplatform, eplatform_items, report, sample_size=1000, seed=5
+    )
+    precision, recall, f1 = precision_recall_f1(
+        eplatform_labels, report.is_fraud.astype(int)
+    )
+
+    rows = [
+        ["items crawled", store.summary()["items"], "~4.5M"],
+        ["comments crawled", store.summary()["comments"], ">100M"],
+        ["crawl requests", crawler.stats.requests, "1 week / 3 servers"],
+        ["crawl retries", crawler.stats.retries, "-"],
+        ["fraud items reported", report.n_reported, "10,720"],
+        ["audited sample", int(audit["n_audited"]), "1,000"],
+        ["audit-confirmed", int(audit["n_confirmed"]), "960"],
+        ["audit precision", audit["audit_precision"], "0.96"],
+        ["ground-truth recall", recall, "-"],
+    ]
+    text = render_table(
+        ["quantity", "measured", "paper"],
+        rows,
+        title="Section IV -- E-platform application (cross-platform)",
+    )
+    text += (
+        "\n\nnote: our audit oracle is exact ground truth; the paper's was"
+        "\nhuman judgment of the same public signals CATS uses, so the"
+        "\npaper's audit precision is an upper bound on ours."
+    )
+    write_result("eplatform_application", text)
+
+    # Shape claims: most reported items are genuinely fraudulent and
+    # most true frauds are caught, with zero training on this platform.
+    assert audit["audit_precision"] > 0.5
+    assert recall > 0.7
+    assert report.n_reported > 0

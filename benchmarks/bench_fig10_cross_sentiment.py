@@ -1,0 +1,90 @@
+"""Fig. 10 -- cross-platform comment sentiment distributions.
+
+Paper: the sentiment distributions of E-platform's *reported* fraud and
+normal items agree with those of Taobao's *labeled* fraud and normal
+items, and >99.8% of reported-fraud comments are positive.
+
+Measured here: the four distributions, their cross-platform overlap
+coefficients, and the positive fraction of reported-fraud comments.
+The benchmark times sentiment scoring over one item batch.
+"""
+
+from conftest import write_result
+
+from repro.analysis.distributions import distribution_overlap
+from repro.analysis.reporting import render_table
+from repro.analysis.sentiment_study import (
+    comment_sentiments,
+    positive_comment_fraction,
+)
+
+
+def test_fig10_cross_platform_sentiment(
+    benchmark, cats, d1, eplatform_items, eplatform_report,
+    eplatform_confirmed,
+):
+    score = cats.analyzer.comment_sentiment
+
+    tb_fraud = [i for i, y in zip(d1.items, d1.labels) if y][:300]
+    tb_normal = [i for i, y in zip(d1.items, d1.labels) if not y][:300]
+    ep_fraud = eplatform_confirmed[:300]
+    ep_normal = [
+        item
+        for item, flagged in zip(eplatform_items, eplatform_report.is_fraud)
+        if not flagged
+    ][:300]
+
+    benchmark(
+        lambda: comment_sentiments(
+            (i.comment_texts for i in tb_fraud[:15]), score
+        )
+    )
+
+    sents = {
+        "taobao fraud (labeled)": comment_sentiments(
+            (i.comment_texts for i in tb_fraud), score
+        ),
+        "taobao normal": comment_sentiments(
+            (i.comment_texts for i in tb_normal), score
+        ),
+        "eplatform fraud (reported)": comment_sentiments(
+            (i.comment_texts for i in ep_fraud), score
+        ),
+        "eplatform normal": comment_sentiments(
+            (i.comment_texts for i in ep_normal), score
+        ),
+    }
+    rows = [
+        [name, float(vals.mean()), positive_comment_fraction(vals)]
+        for name, vals in sents.items()
+    ]
+    fraud_overlap = distribution_overlap(
+        sents["taobao fraud (labeled)"], sents["eplatform fraud (reported)"]
+    )
+    normal_overlap = distribution_overlap(
+        sents["taobao normal"], sents["eplatform normal"]
+    )
+    text = render_table(
+        ["population", "mean sentiment", "positive fraction"],
+        rows,
+        title="Fig. 10 -- cross-platform sentiment",
+    )
+    text += (
+        f"\n\nfraud-vs-fraud cross-platform overlap: {fraud_overlap:.3f}"
+        f"\nnormal-vs-normal cross-platform overlap: {normal_overlap:.3f}"
+        "\n(paper: distributions 'generally agree'; >99.8% of reported"
+        " fraud comments positive)"
+    )
+    write_result("fig10_cross_sentiment", text)
+
+    # Shape claims.
+    reported_positive = positive_comment_fraction(
+        sents["eplatform fraud (reported)"]
+    )
+    # Paper: >99.8% of (audit-confirmed) fraud comments are positive;
+    # ours include each item's organic comments too, softening the floor.
+    assert reported_positive > 0.8
+    assert fraud_overlap > 0.5
+    assert sents["eplatform fraud (reported)"].mean() > (
+        sents["eplatform normal"].mean()
+    )

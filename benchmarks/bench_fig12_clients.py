@@ -1,0 +1,55 @@
+"""Fig. 12 -- order-source client distributions.
+
+Paper: the largest share of fraud items' orders comes through the web
+client; normal items' orders are Android-dominant; the gap is large.
+
+The benchmark times the client-distribution computation.
+"""
+
+from conftest import write_result
+
+from repro.analysis.order_study import (
+    client_distribution,
+    client_gap,
+    dominant_client,
+)
+from repro.analysis.reporting import render_table
+
+
+def test_fig12_client_distribution(
+    benchmark, eplatform_items, eplatform_report, eplatform_confirmed
+):
+    fraud_comments = [
+        c for item in eplatform_confirmed for c in item.comments
+    ]
+    normal_comments = [
+        c
+        for item, flag in zip(eplatform_items, eplatform_report.is_fraud)
+        if not flag
+        for c in item.comments
+    ]
+
+    fraud_dist = benchmark(lambda: client_distribution(fraud_comments))
+    normal_dist = client_distribution(normal_comments)
+    gap = client_gap(fraud_dist, normal_dist)
+
+    clients = sorted(set(fraud_dist) | set(normal_dist))
+    rows = [
+        [c, fraud_dist.get(c, 0.0), normal_dist.get(c, 0.0), gap[c]]
+        for c in clients
+    ]
+    text = render_table(
+        ["client", "fraud share", "normal share", "gap"],
+        rows,
+        title=(
+            "Fig. 12 -- order client distribution "
+            "(paper: fraud web-dominant, normal Android-dominant)"
+        ),
+    )
+    write_result("fig12_clients", text)
+
+    # Shape claims: fraud orders skew heavily toward the web client,
+    # normal orders toward Android, and the gap is large (paper).
+    assert dominant_client(normal_dist) == "android"
+    assert gap["web"] > 0.15, "web-share gap is large (paper)"
+    assert fraud_dist["web"] > 2 * normal_dist["web"]

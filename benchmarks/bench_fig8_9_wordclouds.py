@@ -1,0 +1,103 @@
+"""Figs 8-9 and Tables VIII-IX -- word clouds / top-50 words.
+
+Paper:
+* fraud items' top-50 words are positive on both platforms and occupy
+  ~28% of all word occurrences;
+* the two platforms' fraud word distributions nearly coincide;
+* normal items' frequent words include negative words.
+
+Measured here: top-50 ranked words for fraud/normal items on both
+platforms, the positive occurrence share, cross-platform cloud
+similarity, and negative-word presence in normal clouds.  The benchmark
+times one top-50 extraction.
+"""
+
+from conftest import write_result
+
+from repro.analysis.reporting import render_table
+from repro.analysis.wordclouds import (
+    cloud_similarity,
+    positive_share,
+    top_words,
+)
+
+
+def test_figs8_9_wordclouds(
+    benchmark, cats, language, d1, eplatform_items, eplatform_report
+):
+    segment = cats.analyzer.segment
+
+    tb_fraud = [i for i, y in zip(d1.items, d1.labels) if y]
+    tb_normal = [i for i, y in zip(d1.items, d1.labels) if not y][:2000]
+    ep_fraud = [
+        item
+        for item, flagged in zip(eplatform_items, eplatform_report.is_fraud)
+        if flagged
+    ]
+    ep_normal = [
+        item
+        for item, flagged in zip(eplatform_items, eplatform_report.is_fraud)
+        if not flagged
+    ][:2000]
+
+    benchmark(
+        lambda: top_words(
+            (i.comment_texts for i in tb_fraud[:50]), segment, k=50
+        )
+    )
+
+    clouds = {
+        "taobao fraud (Fig 8b / Table IX)": top_words(
+            (i.comment_texts for i in tb_fraud), segment, k=50
+        ),
+        "eplatform fraud (Fig 8a / Table VIII)": top_words(
+            (i.comment_texts for i in ep_fraud), segment, k=50
+        ),
+        "taobao normal (Fig 9b)": top_words(
+            (i.comment_texts for i in tb_normal), segment, k=50
+        ),
+        "eplatform normal (Fig 9a)": top_words(
+            (i.comment_texts for i in ep_normal), segment, k=50
+        ),
+    }
+
+    rows = []
+    for name, ranked in clouds.items():
+        pos = positive_share(ranked, language.positive_set)
+        neg = positive_share(ranked, language.negative_set)
+        rows.append([name, pos, neg])
+    fraud_similarity = cloud_similarity(
+        clouds["taobao fraud (Fig 8b / Table IX)"],
+        clouds["eplatform fraud (Fig 8a / Table VIII)"],
+    )
+    text = render_table(
+        ["cloud", "positive share", "negative share"],
+        rows,
+        title="Figs 8-9 -- word clouds (paper: fraud ~28% positive share)",
+    )
+    text += f"\n\ncross-platform fraud cloud Jaccard: {fraud_similarity:.3f}"
+    for name, ranked in clouds.items():
+        text += f"\n\ntop-20 {name}:\n  " + ", ".join(
+            w for w, __ in ranked[:20]
+        )
+    write_result("figs8_9_wordclouds", text)
+
+    tb_fraud_pos = positive_share(
+        clouds["taobao fraud (Fig 8b / Table IX)"], language.positive_set
+    )
+    ep_fraud_pos = positive_share(
+        clouds["eplatform fraud (Fig 8a / Table VIII)"], language.positive_set
+    )
+    tb_normal_pos = positive_share(
+        clouds["taobao normal (Fig 9b)"], language.positive_set
+    )
+    # Shape claims.
+    assert tb_fraud_pos > 0.15, "fraud cloud positive-heavy (paper ~28%)"
+    assert ep_fraud_pos > 0.15
+    assert tb_fraud_pos > tb_normal_pos
+    assert fraud_similarity > 0.4, "fraud clouds agree across platforms"
+    # Normal clouds contain negative words (paper Fig 9).
+    tb_normal_neg = positive_share(
+        clouds["taobao normal (Fig 9b)"], language.negative_set
+    )
+    assert tb_normal_neg > 0.0

@@ -1,0 +1,106 @@
+"""Figs 2-5 -- structural distributions of comments (fraud vs normal).
+
+Paper: on a 5,000+5,000 item sample, fraud items' comments have more
+punctuation (Fig 2), higher entropy (Fig 3), greater length (Fig 4) and
+a lower unique-word ratio (Fig 5) than normal items' comments.
+
+Measured here: all four per-comment distributions on a scaled balanced
+sample.  The benchmark times the per-comment structural statistics.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.distributions import histogram, ks_statistic
+from repro.analysis.reporting import compare_histograms, render_table
+from repro.datasets.splits import balanced_sample
+from repro.text.stats import (
+    comment_entropy,
+    punctuation_count,
+    unique_word_ratio,
+)
+
+
+def _per_comment_stats(items, segment):
+    punct, entropy, length, unique = [], [], [], []
+    for item in items:
+        for text in item.comment_texts:
+            words = segment(text)
+            if not words:
+                continue
+            punct.append(punctuation_count(text))
+            entropy.append(comment_entropy(words))
+            length.append(len(words))
+            unique.append(unique_word_ratio(words))
+    return {
+        "punctuation (Fig 2)": np.array(punct, dtype=float),
+        "entropy (Fig 3)": np.array(entropy),
+        "length (Fig 4)": np.array(length, dtype=float),
+        "unique-word ratio (Fig 5)": np.array(unique),
+    }
+
+
+def test_figs2_5_structural_distributions(benchmark, cats, d1):
+    n_per_class = min(500, d1.n_fraud)
+    sample = balanced_sample(d1, n_per_class=n_per_class, seed=2)
+    fraud_items = [i for i, y in zip(sample.items, sample.labels) if y]
+    normal_items = [i for i, y in zip(sample.items, sample.labels) if not y]
+    segment = cats.analyzer.segment
+
+    batch = [t for item in fraud_items[:20] for t in item.comment_texts]
+
+    def structural_pass():
+        return [
+            (
+                punctuation_count(t),
+                comment_entropy(segment(t)),
+                unique_word_ratio(segment(t)),
+            )
+            for t in batch
+        ]
+
+    benchmark(structural_pass)
+
+    fraud_stats = _per_comment_stats(fraud_items, segment)
+    normal_stats = _per_comment_stats(normal_items, segment)
+
+    rows = []
+    blocks = []
+    for name in fraud_stats:
+        f, n = fraud_stats[name], normal_stats[name]
+        rows.append(
+            [name, float(f.mean()), float(n.mean()), ks_statistic(f, n)]
+        )
+        lo = float(min(f.min(), n.min()))
+        hi = float(max(f.max(), n.max()))
+        blocks.append(
+            name
+            + "\n"
+            + compare_histograms(
+                histogram(f, bins=12, value_range=(lo, hi)),
+                histogram(n, bins=12, value_range=(lo, hi)),
+                "fraud",
+                "normal",
+            )
+        )
+    text = render_table(
+        ["quantity", "fraud mean", "normal mean", "KS"],
+        rows,
+        title="Figs 2-5 -- structural comment statistics",
+    )
+    text += "\n\n" + "\n\n".join(blocks)
+    write_result("figs2_5_structure", text)
+
+    # Shape claims (paper Section II-A.4).
+    assert fraud_stats["punctuation (Fig 2)"].mean() > (
+        normal_stats["punctuation (Fig 2)"].mean()
+    )
+    assert fraud_stats["entropy (Fig 3)"].mean() > (
+        normal_stats["entropy (Fig 3)"].mean()
+    )
+    assert fraud_stats["length (Fig 4)"].mean() > (
+        normal_stats["length (Fig 4)"].mean()
+    )
+    assert fraud_stats["unique-word ratio (Fig 5)"].mean() < (
+        normal_stats["unique-word ratio (Fig 5)"].mean()
+    )

@@ -1,0 +1,54 @@
+"""Tables IV and V -- dataset statistics.
+
+Paper:
+    D0: 14,000 fraud items, 20,000 normal items, 474,000 comments.
+    D1: 18,682 fraud items (16,782 evidence-labeled), 1,461,452 normal
+        items, 72,340,999 comments.
+
+Measured here: our scaled builds, with the scale factor and the
+paper-equivalent numbers they correspond to.  The benchmark times a
+small dataset build.
+"""
+
+from conftest import BASE_D0_SCALE, BASE_D1_SCALE, write_result
+
+from repro.analysis.reporting import render_table
+from repro.datasets.builders import PAPER_D0, PAPER_D1, build_d0
+
+
+def test_tables4_5_dataset_statistics(benchmark, language, d0, d1):
+    benchmark(lambda: build_d0(language, scale=0.002, seed=9))
+
+    evidenced = int(d1.evidence_mask.sum())
+    rows = [
+        ["D0 fraud items", d0.n_fraud, PAPER_D0["fraud_items"]],
+        ["D0 normal items", d0.n_normal, PAPER_D0["normal_items"]],
+        ["D0 comments", d0.n_comments, PAPER_D0["comments"]],
+        ["D1 fraud items", d1.n_fraud, PAPER_D1["fraud_items"]],
+        ["D1 evidenced fraud", evidenced, PAPER_D1["evidenced_fraud_items"]],
+        ["D1 normal items", d1.n_normal, PAPER_D1["normal_items"]],
+        ["D1 comments", d1.n_comments, PAPER_D1["comments"]],
+    ]
+    text = render_table(
+        ["quantity", "measured (scaled)", "paper (full scale)"],
+        rows,
+        title=(
+            f"Tables IV & V -- dataset statistics "
+            f"(D0 scale {BASE_D0_SCALE}, D1 scale {BASE_D1_SCALE})"
+        ),
+    )
+    write_result("tables4_5_datasets", text)
+
+    # Ratio claims.
+    d0_ratio = d0.n_fraud / d0.n_normal
+    paper_d0_ratio = PAPER_D0["fraud_items"] / PAPER_D0["normal_items"]
+    assert abs(d0_ratio - paper_d0_ratio) / paper_d0_ratio < 0.05
+
+    d1_rate = d1.n_fraud / len(d1)
+    paper_d1_rate = PAPER_D1["fraud_items"] / (
+        PAPER_D1["fraud_items"] + PAPER_D1["normal_items"]
+    )
+    assert abs(d1_rate - paper_d1_rate) / paper_d1_rate < 0.5
+
+    evidence_fraction = evidenced / max(1, d1.n_fraud)
+    assert abs(evidence_fraction - 16_782 / 18_682) < 0.1

@@ -1,0 +1,38 @@
+"""Section III runtime -- end-to-end detection throughput.
+
+The paper ran detection on a 40-vCPU server; absolute numbers are not
+comparable, but the harness reports items/second and comments/second
+for the full pipeline (segmentation + features + rules + classifier) so
+regressions are visible.
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.analysis.reporting import render_table
+
+
+def test_detection_throughput(benchmark, cats, d1):
+    items = d1.items[:400]
+    n_comments = sum(len(i.comments) for i in items)
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(
+        lambda: cats.detect(items), rounds=3, iterations=1
+    )
+    elapsed = (time.perf_counter() - t0) / 3.0
+
+    rows = [
+        ["items", len(items)],
+        ["comments", n_comments],
+        ["items / second", len(items) / elapsed],
+        ["comments / second", n_comments / elapsed],
+    ]
+    text = render_table(
+        ["quantity", "value"],
+        rows,
+        title="End-to-end detection throughput",
+    )
+    write_result("throughput", text)
+    assert len(items) / elapsed > 1.0

@@ -1,0 +1,141 @@
+"""Shared artifacts for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+expensive artifacts -- trained analyzer, D0-pretrained CATS, the D1
+evaluation set, the crawled E-platform -- are built once per session.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0), a multiplier on the harness's baseline dataset scales
+(which are already reduced from paper size; see DESIGN.md).  Rendered
+tables are written to ``benchmarks/results/`` and printed (visible with
+``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.adapters import crawled_view
+from repro.core.pipeline import run_crawl, train_cats
+from repro.datasets.builders import (
+    build_d1,
+    build_eplatform,
+    default_language,
+)
+
+#: Baseline scales relative to the paper's datasets.
+BASE_D0_SCALE = 0.1    # 1,400 fraud / 2,000 normal items
+BASE_D1_SCALE = 0.01   # ~14,800 items, ~187 fraud
+BASE_EP_SCALE = 0.002  # ~9,000 items
+
+
+def _bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one benchmark's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}")
+
+
+@pytest.fixture(scope="session")
+def language():
+    return default_language()
+
+
+@pytest.fixture(scope="session")
+def trained(language):
+    """(cats, d0) trained at benchmark scale."""
+    return train_cats(language, d0_scale=BASE_D0_SCALE * _bench_scale())
+
+
+@pytest.fixture(scope="session")
+def cats(trained):
+    return trained[0]
+
+
+@pytest.fixture(scope="session")
+def d0(trained):
+    return trained[1]
+
+
+@pytest.fixture(scope="session")
+def d0_features(cats, d0):
+    """Feature matrix of D0 (reused by several benches)."""
+    return cats.extract_features(d0.items)
+
+
+@pytest.fixture(scope="session")
+def d1(language):
+    return build_d1(language, scale=BASE_D1_SCALE * _bench_scale())
+
+
+@pytest.fixture(scope="session")
+def d1_features(cats, d1):
+    return cats.extract_features(d1.items)
+
+
+@pytest.fixture(scope="session")
+def eplatform(language):
+    return build_eplatform(language, scale=BASE_EP_SCALE * _bench_scale())
+
+
+@pytest.fixture(scope="session")
+def eplatform_crawl(eplatform):
+    """Crawled + cleaned E-platform data (store, crawler stats)."""
+    store, crawler = run_crawl(
+        eplatform, failure_rate=0.02, duplicate_rate=0.01, seed=17
+    )
+    return store, crawler
+
+
+@pytest.fixture(scope="session")
+def eplatform_items(eplatform_crawl):
+    return eplatform_crawl[0].crawled_items()
+
+
+@pytest.fixture(scope="session")
+def eplatform_features(cats, eplatform_items):
+    return cats.extract_features(eplatform_items)
+
+
+@pytest.fixture(scope="session")
+def eplatform_report(cats, eplatform_items, eplatform_features):
+    return cats.detect_with_features(eplatform_items, eplatform_features)
+
+
+@pytest.fixture(scope="session")
+def eplatform_confirmed(eplatform, eplatform_items, eplatform_report):
+    """Audit-confirmed reported items (the paper's Section IV flow).
+
+    The paper's measurement study runs over its reported items, which
+    its expert audit found 96% pure.  Our audit oracle is ground truth;
+    restricting the study to confirmed reports reproduces the paper's
+    effective population without the dilution of our (stricter-counted)
+    false positives.
+    """
+    confirmed = []
+    for item, flagged in zip(eplatform_items, eplatform_report.is_fraud):
+        if flagged and eplatform.item_by_id(item.item_id).is_fraud:
+            confirmed.append(item)
+    return confirmed
+
+
+@pytest.fixture(scope="session")
+def eplatform_labels(eplatform, eplatform_items):
+    return np.array(
+        [
+            1 if eplatform.item_by_id(ci.item_id).is_fraud else 0
+            for ci in eplatform_items
+        ]
+    )

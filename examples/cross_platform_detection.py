@@ -1,0 +1,64 @@
+"""Cross-platform application (the paper's Section IV).
+
+Trains CATS on the Taobao-like platform's labeled D0, then:
+
+1. crawls the *public website* of a second, never-seen platform
+   ("E-platform") -- shop directory -> item listings -> comment pages,
+   with retries over simulated transient failures;
+2. cleans the crawl (duplicate removal, dangling references);
+3. runs detection using only the crawled public data;
+4. audits a sample of the reported items against expert judgment
+   (ground truth stands in for the paper's anti-fraud experts).
+
+Run:  python examples/cross_platform_detection.py
+"""
+
+from repro import CATS, build_analyzer, build_d0, build_eplatform
+from repro.core.pipeline import audit_reported_items, run_crawl
+
+
+def main() -> None:
+    print("1. training CATS on the Taobao-like platform...")
+    analyzer = build_analyzer(n_corpus_comments=8000)
+    cats = CATS(analyzer)
+    d0 = build_d0(scale=0.06)
+    cats.fit(d0.items, d0.labels)
+    print(f"   trained on D0: {d0.summary()}")
+
+    print("2. crawling E-platform's public website...")
+    eplatform = build_eplatform(scale=0.0008)
+    store, crawler = run_crawl(
+        eplatform, failure_rate=0.03, duplicate_rate=0.02, seed=7
+    )
+    stats = crawler.stats
+    print(
+        f"   {stats.requests} requests, {stats.retries} retries, "
+        f"{stats.simulated_backoff_seconds:.1f}s simulated backoff"
+    )
+    print(f"   collected: {store.summary()}")
+
+    print("3. detecting fraud items from public data only...")
+    crawled = store.crawled_items()
+    report = cats.detect(crawled)
+    print(
+        f"   reported {report.n_reported} fraud items out of "
+        f"{len(crawled)} ({report.filter_report['passed']} reached the "
+        "classifier)"
+    )
+
+    print("4. expert audit of the reported items...")
+    if report.n_reported == 0:
+        print("   nothing reported at this scale; re-run with more data")
+        return
+    audit = audit_reported_items(
+        eplatform, crawled, report, sample_size=1000, seed=1
+    )
+    print(
+        f"   audited {int(audit['n_audited'])} items, confirmed "
+        f"{int(audit['n_confirmed'])} -> precision "
+        f"{audit['audit_precision']:.2f} (paper: 960/1000 = 0.96)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro -- a full reproduction of CATS (ICDE 2019).
+
+CATS is a third-party, cross-platform e-commerce fraud-item detection
+system (Weng et al., "CATS: Cross-Platform E-commerce Fraud Detection",
+ICDE 2019).  This package reimplements the complete system and every
+substrate it depends on, plus a synthetic e-commerce platform simulator
+standing in for the paper's proprietary Taobao / E-platform data.
+
+Quickstart::
+
+    from repro import CATS, build_analyzer, build_d0, build_d1
+
+    analyzer = build_analyzer()          # segmenter + word2vec + sentiment
+    cats = CATS(analyzer)
+    d0 = build_d0(scale=0.02)            # labeled training set
+    cats.fit(d0.items, d0.labels)
+    d1 = build_d1(scale=0.005)           # imbalanced evaluation set
+    report = cats.detect(d1.items)
+    print(report.n_reported, "fraud items reported")
+
+Subpackages: :mod:`repro.core` (the CATS system), :mod:`repro.text`,
+:mod:`repro.semantics`, :mod:`repro.ml` (substrates),
+:mod:`repro.ecommerce` (platform simulator), :mod:`repro.collector`
+(crawler), :mod:`repro.datasets` (experiment datasets),
+:mod:`repro.analysis` (the paper's measurement study).
+"""
+
+from repro.core import (
+    CATS,
+    CATSConfig,
+    DetectionReport,
+    Detector,
+    FEATURE_NAMES,
+    FeatureExtractor,
+    RuleFilter,
+    SemanticAnalyzer,
+    SentimentLexicon,
+)
+from repro.datasets import (
+    LabeledDataset,
+    build_analyzer,
+    build_d0,
+    build_d1,
+    build_eplatform,
+    default_language,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CATS",
+    "CATSConfig",
+    "DetectionReport",
+    "Detector",
+    "FEATURE_NAMES",
+    "FeatureExtractor",
+    "LabeledDataset",
+    "RuleFilter",
+    "SemanticAnalyzer",
+    "SentimentLexicon",
+    "build_analyzer",
+    "build_d0",
+    "build_d1",
+    "build_eplatform",
+    "default_language",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Measurement study of reported frauds (paper Sections IV-V).
+
+After CATS reports fraud items on a platform where no ground truth is
+available, the paper validates the reports *statistically*, comparing
+the reported items' behaviour with labeled Taobao frauds along three
+aspects:
+
+* **item aspect** -- word clouds / top-50 frequent words
+  (:mod:`repro.analysis.wordclouds`) and comment sentiment
+  (:mod:`repro.analysis.sentiment_study`);
+* **user aspect** -- userExpValue distributions of buyers, repeat
+  purchases and co-purchase pair structure
+  (:mod:`repro.analysis.user_study`);
+* **order aspect** -- order-source client distributions
+  (:mod:`repro.analysis.order_study`).
+
+:mod:`repro.analysis.distributions` provides the histogram/divergence
+machinery behind the figure reproductions, and
+:mod:`repro.analysis.reporting` renders ASCII tables/histograms for the
+benchmark harness.
+"""
+
+from repro.analysis.cohorts import (
+    Cohort,
+    attribute_items,
+    build_co_purchase_graph,
+    discover_cohorts,
+)
+from repro.analysis.distributions import (
+    Histogram,
+    distribution_overlap,
+    histogram,
+    ks_statistic,
+)
+from repro.analysis.order_study import client_distribution
+from repro.analysis.reporting import ascii_histogram, render_table
+from repro.analysis.sentiment_study import sentiment_distribution
+from repro.analysis.user_study import (
+    buyer_expvalue_distribution,
+    co_purchase_pairs,
+    repeat_purchase_stats,
+)
+from repro.analysis.wordclouds import positive_share, top_words
+
+__all__ = [
+    "Cohort",
+    "Histogram",
+    "attribute_items",
+    "build_co_purchase_graph",
+    "discover_cohorts",
+    "ascii_histogram",
+    "buyer_expvalue_distribution",
+    "client_distribution",
+    "co_purchase_pairs",
+    "distribution_overlap",
+    "histogram",
+    "ks_statistic",
+    "positive_share",
+    "render_table",
+    "repeat_purchase_stats",
+    "sentiment_distribution",
+    "top_words",
+]

@@ -1,0 +1,59 @@
+"""Adapters between simulator entities and crawl-record views.
+
+The Taobao-side analyses (Figs 8(b), 9(b), 10) run on labeled *internal*
+items, not crawled ones.  These helpers render
+:class:`~repro.ecommerce.entities.Item` objects into the same
+:class:`~repro.collector.records.CommentRecord` shape the crawled
+E-platform data has, so every analysis function works on both sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.collector.records import CommentRecord, CrawledItem, ItemRecord
+from repro.ecommerce.entities import Item, Platform
+
+
+def comment_records_for_item(
+    platform: Platform, item: Item
+) -> list[CommentRecord]:
+    """Render one item's comments as public comment records."""
+    records = []
+    for comment in item.comments:
+        user = platform.user(comment.user_id)
+        records.append(
+            CommentRecord(
+                item_id=item.item_id,
+                comment_id=comment.comment_id,
+                content=comment.content,
+                nickname=user.anonymized_nickname(),
+                user_exp_value=user.exp_value,
+                client=comment.client.value,
+                date=comment.date,
+            )
+        )
+    return records
+
+
+def crawled_view(
+    platform: Platform, items: Sequence[Item] | None = None
+) -> list[CrawledItem]:
+    """Render platform items as :class:`CrawledItem` bundles."""
+    chosen = items if items is not None else platform.items
+    out = []
+    for item in chosen:
+        record = ItemRecord(
+            item_id=item.item_id,
+            shop_id=item.shop_id,
+            item_name=item.name,
+            price=item.price,
+            sales_volume=item.sales_volume,
+        )
+        out.append(
+            CrawledItem(
+                item=record,
+                comments=comment_records_for_item(platform, item),
+            )
+        )
+    return out

@@ -1,0 +1,181 @@
+"""Promoter-cohort mining (the paper's Section VII future work).
+
+The measurement study (Section V) found that pairs of risky users who
+co-purchased 2+ common fraud items collapse into a tiny population --
+the signature of merchants hiring *cohorts* of promotion accounts.  The
+paper proposes, as future work, to "mine and understand the underground
+ecosystem of e-commerce frauds".  This module implements that mining
+step on public data:
+
+1. build the **co-purchase graph**: nodes are buyers of reported fraud
+   items (identified by the public ``(nickname, userExpValue)`` key),
+   edges connect users sharing >= ``min_common_items`` fraud items,
+   weighted by the number of shared items;
+2. extract **cohorts** as connected components above a minimum size;
+3. score each cohort: size, items covered, internal edge density and
+   mean buyer expvalue -- low-expvalue, high-density components are
+   hired cohorts;
+4. **attribute** reported items to the cohort that supplied most of
+   their buyers, grouping items into inferred campaigns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Hashable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.collector.records import CommentRecord
+
+UserKey = Hashable
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One mined promoter cohort."""
+
+    cohort_id: int
+    members: frozenset[UserKey]
+    item_ids: frozenset[int]
+    edge_density: float
+    mean_exp_value: float
+
+    @property
+    def size(self) -> int:
+        """Number of member accounts."""
+        return len(self.members)
+
+
+def build_co_purchase_graph(
+    item_comment_groups: Sequence[Sequence[CommentRecord]],
+    min_common_items: int = 2,
+) -> nx.Graph:
+    """Weighted co-purchase graph over buyers of the given items.
+
+    Nodes carry ``exp_value`` and ``items`` (set of item ids bought);
+    edges carry ``weight`` = number of common items, and exist only at
+    >= *min_common_items*.
+    """
+    pair_counts: Counter[tuple[UserKey, UserKey]] = Counter()
+    buyer_items: dict[UserKey, set[int]] = {}
+    buyer_exp: dict[UserKey, int] = {}
+    for comments in item_comment_groups:
+        buyers: dict[UserKey, CommentRecord] = {}
+        for comment in comments:
+            buyers[comment.user_key] = comment
+        keys = sorted(buyers, key=repr)
+        for key in keys:
+            buyer_items.setdefault(key, set()).add(buyers[key].item_id)
+            buyer_exp[key] = buyers[key].user_exp_value
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                pair_counts[(keys[i], keys[j])] += 1
+
+    graph = nx.Graph()
+    for key, items in buyer_items.items():
+        graph.add_node(key, exp_value=buyer_exp[key], items=items)
+    for (a, b), count in pair_counts.items():
+        if count >= min_common_items:
+            graph.add_edge(a, b, weight=count)
+    return graph
+
+
+def discover_cohorts(
+    item_comment_groups: Sequence[Sequence[CommentRecord]],
+    min_common_items: int = 2,
+    min_cohort_size: int = 3,
+) -> list[Cohort]:
+    """Mine promoter cohorts from reported fraud items' comments.
+
+    Returns cohorts sorted by descending size.  Isolated buyers and
+    components smaller than *min_cohort_size* are dropped -- organic
+    co-purchases occasionally create tiny components, hired cohorts do
+    not stay tiny.
+    """
+    graph = build_co_purchase_graph(item_comment_groups, min_common_items)
+    cohorts: list[Cohort] = []
+    for cohort_id, component in enumerate(nx.connected_components(graph)):
+        if len(component) < min_cohort_size:
+            continue
+        members = frozenset(component)
+        subgraph = graph.subgraph(component)
+        n = len(component)
+        possible = n * (n - 1) / 2
+        density = subgraph.number_of_edges() / possible if possible else 0.0
+        item_ids = frozenset(
+            item
+            for key in component
+            for item in graph.nodes[key]["items"]
+        )
+        mean_exp = float(
+            np.mean([graph.nodes[key]["exp_value"] for key in component])
+        )
+        cohorts.append(
+            Cohort(
+                cohort_id=cohort_id,
+                members=members,
+                item_ids=item_ids,
+                edge_density=density,
+                mean_exp_value=mean_exp,
+            )
+        )
+    cohorts.sort(key=lambda c: -c.size)
+    return cohorts
+
+
+def attribute_items(
+    item_comment_groups: Sequence[Sequence[CommentRecord]],
+    cohorts: Sequence[Cohort],
+) -> dict[int, int]:
+    """Map each item id to the cohort supplying most of its buyers.
+
+    Items whose buyers belong to no cohort are omitted.  Returns
+    ``{item_id: cohort_id}``.
+    """
+    member_to_cohort: dict[UserKey, int] = {}
+    for cohort in cohorts:
+        for member in cohort.members:
+            member_to_cohort[member] = cohort.cohort_id
+
+    attribution: dict[int, int] = {}
+    for comments in item_comment_groups:
+        if not comments:
+            continue
+        item_id = comments[0].item_id
+        votes: Counter[int] = Counter()
+        for comment in comments:
+            cohort_id = member_to_cohort.get(comment.user_key)
+            if cohort_id is not None:
+                votes[cohort_id] += 1
+        if votes:
+            attribution[item_id] = votes.most_common(1)[0][0]
+    return attribution
+
+
+def cohort_summary(
+    cohorts: Sequence[Cohort], population_mean_exp: float
+) -> dict[str, float]:
+    """Aggregate statistics over mined cohorts (for reporting)."""
+    if not cohorts:
+        return {
+            "n_cohorts": 0.0,
+            "total_members": 0.0,
+            "total_items": 0.0,
+            "mean_density": 0.0,
+            "low_exp_fraction": 0.0,
+        }
+    low_exp = sum(
+        1 for c in cohorts if c.mean_exp_value < population_mean_exp
+    )
+    return {
+        "n_cohorts": float(len(cohorts)),
+        "total_members": float(sum(c.size for c in cohorts)),
+        "total_items": float(
+            len(set().union(*(c.item_ids for c in cohorts)))
+        ),
+        "mean_density": float(np.mean([c.edge_density for c in cohorts])),
+        "low_exp_fraction": low_exp / len(cohorts),
+    }

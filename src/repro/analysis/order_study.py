@@ -1,0 +1,47 @@
+"""Order-aspect study (paper Fig. 12).
+
+Only purchasers can comment, so each comment's client field is the order
+source.  The paper finds the largest share of fraud orders comes through
+the *web* client while normal orders are *Android*-dominant, and reads
+the gap as further evidence the reported frauds are genuine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.collector.records import CommentRecord
+
+
+def client_distribution(
+    comments: Iterable[CommentRecord],
+) -> dict[str, float]:
+    """Normalized order-source shares over *comments*."""
+    counts: Counter[str] = Counter()
+    for comment in comments:
+        counts[comment.client] += 1
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("no comments supplied")
+    return {client: count / total for client, count in counts.most_common()}
+
+
+def dominant_client(distribution: dict[str, float]) -> str:
+    """The client with the largest share."""
+    if not distribution:
+        raise ValueError("empty distribution")
+    return max(distribution, key=lambda client: distribution[client])
+
+
+def client_gap(
+    fraud_distribution: dict[str, float],
+    normal_distribution: dict[str, float],
+) -> dict[str, float]:
+    """Per-client share difference (fraud minus normal)."""
+    clients = set(fraud_distribution) | set(normal_distribution)
+    return {
+        client: fraud_distribution.get(client, 0.0)
+        - normal_distribution.get(client, 0.0)
+        for client in sorted(clients)
+    }

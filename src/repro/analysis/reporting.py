@@ -1,0 +1,86 @@
+"""ASCII rendering for the benchmark harness.
+
+Every benchmark prints the rows/series of one paper table or figure;
+these helpers keep that output consistent and legible in a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.distributions import Histogram
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are shown with 3 decimals; other values via ``str``.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    hist: Histogram,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Render a histogram as horizontal bars (one row per bin)."""
+    peak = float(hist.density.max()) if hist.density.size else 0.0
+    lines: list[str] = []
+    if label:
+        lines.append(label)
+    for i, d in enumerate(hist.density):
+        bar_len = 0 if peak == 0 else int(round(width * d / peak))
+        lo, hi = hist.edges[i], hist.edges[i + 1]
+        lines.append(f"[{lo:9.3f},{hi:9.3f}) {'#' * bar_len}")
+    return "\n".join(lines)
+
+
+def compare_histograms(
+    hist_a: Histogram,
+    hist_b: Histogram,
+    label_a: str = "A",
+    label_b: str = "B",
+    width: int = 30,
+) -> str:
+    """Side-by-side bars for two histograms on the same edges."""
+    if not np.allclose(hist_a.edges, hist_b.edges):
+        raise ValueError("histograms must share bin edges")
+    peak = max(
+        float(hist_a.density.max() or 0.0), float(hist_b.density.max() or 0.0)
+    )
+    lines = [f"{'bin':>22}  {label_a:<{width}}  {label_b}"]
+    for i in range(len(hist_a.density)):
+        lo, hi = hist_a.edges[i], hist_a.edges[i + 1]
+        bar = lambda d: "" if peak == 0 else "#" * int(round(width * d / peak))
+        lines.append(
+            f"[{lo:9.3f},{hi:9.3f})  {bar(hist_a.density[i]):<{width}}  "
+            f"{bar(hist_b.density[i])}"
+        )
+    return "\n".join(lines)

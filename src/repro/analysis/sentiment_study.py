@@ -1,0 +1,61 @@
+"""Comment-sentiment study (paper Figs 1 and 10).
+
+Fig. 1 contrasts the per-comment sentiment distributions of fraud and
+normal items on Taobao (fraud mass concentrates near 1.0, normal near
+0.7).  Fig. 10 repeats the contrast on E-platform's *reported* items and
+shows it agrees with Taobao's labeled items; the paper additionally
+reports that >99.8% of reported-fraud comments are positive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+def comment_sentiments(
+    comment_lists: Iterable[Sequence[str]],
+    score: Callable[[str], float],
+) -> np.ndarray:
+    """Sentiment score of every comment of every item, flattened."""
+    scores = [
+        score(text) for comments in comment_lists for text in comments
+    ]
+    return np.asarray(scores, dtype=np.float64)
+
+
+def sentiment_distribution(
+    fraud_comment_lists: Iterable[Sequence[str]],
+    normal_comment_lists: Iterable[Sequence[str]],
+    score: Callable[[str], float],
+) -> dict[str, np.ndarray]:
+    """Per-class flattened sentiment samples (the data behind Fig. 1)."""
+    return {
+        "fraud": comment_sentiments(fraud_comment_lists, score),
+        "normal": comment_sentiments(normal_comment_lists, score),
+    }
+
+
+def positive_comment_fraction(
+    sentiments: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Fraction of comments scored positive (the >99.8% claim)."""
+    arr = np.asarray(sentiments, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("sentiments must be non-empty")
+    return float(np.mean(arr >= threshold))
+
+
+def summarize_sentiments(sentiments: np.ndarray) -> dict[str, float]:
+    """Summary statistics used in the benchmark reports."""
+    arr = np.asarray(sentiments, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("sentiments must be non-empty")
+    return {
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+        "positive_fraction": positive_comment_fraction(arr),
+    }

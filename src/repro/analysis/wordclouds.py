@@ -1,0 +1,94 @@
+"""Word-cloud analysis (paper Figs 8-9, Tables VIII-IX).
+
+The paper renders word clouds of fraud and normal items' comments on
+both platforms and tabulates the top-50 words.  Its findings:
+
+* fraud items' top words are overwhelmingly positive on *both*
+  platforms (the top 50 are positive words occupying ~28% of all
+  occurrences);
+* normal items' frequent words include negative words;
+* the fraud word distributions of the two platforms nearly coincide --
+  evidence that the cross-platform reports are genuine.
+
+A "word cloud" here is its underlying data: a ranked frequency table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable, Sequence
+
+
+def top_words(
+    comment_lists: Iterable[Sequence[str]],
+    segment: Callable[[str], list[str]],
+    k: int = 50,
+    min_word_length: int = 2,
+) -> list[tuple[str, int]]:
+    """Top-*k* ``(word, count)`` over all comments of all items.
+
+    Parameters
+    ----------
+    comment_lists:
+        Iterable of per-item raw comment-text lists.
+    segment:
+        Word segmenter (e.g. ``analyzer.segment``).
+    min_word_length:
+        Drops ultra-short function words, as word-cloud tools do with
+        stop words.
+    """
+    counts: Counter[str] = Counter()
+    for comments in comment_lists:
+        for text in comments:
+            for word in segment(text):
+                if len(word) >= min_word_length:
+                    counts[word] += 1
+    return counts.most_common(k)
+
+
+def positive_share(
+    ranked_words: Sequence[tuple[str, int]],
+    positive: frozenset[str] | set[str],
+) -> float:
+    """Occurrence-weighted share of positive words among *ranked_words*.
+
+    This is the paper's "the top 50 words ... are positive words, which
+    occupy ~28% of a total" measurement: the counted occurrences of the
+    positive top-k words divided by all top-k occurrences.
+    """
+    if not ranked_words:
+        raise ValueError("ranked_words must be non-empty")
+    total = sum(count for __, count in ranked_words)
+    if total == 0:
+        return 0.0
+    positive_total = sum(
+        count for word, count in ranked_words if word in positive
+    )
+    return positive_total / total
+
+
+def positive_fraction_of_words(
+    ranked_words: Sequence[tuple[str, int]],
+    positive: frozenset[str] | set[str],
+) -> float:
+    """Fraction of the top-k *distinct words* that are positive."""
+    if not ranked_words:
+        raise ValueError("ranked_words must be non-empty")
+    hits = sum(1 for word, __ in ranked_words if word in positive)
+    return hits / len(ranked_words)
+
+
+def cloud_similarity(
+    ranked_a: Sequence[tuple[str, int]],
+    ranked_b: Sequence[tuple[str, int]],
+) -> float:
+    """Jaccard similarity of two top-k word sets.
+
+    Quantifies the paper's visual claim that the fraud word clouds of
+    the two platforms look "almost the same".
+    """
+    set_a = {word for word, __ in ranked_a}
+    set_b = {word for word, __ in ranked_b}
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)

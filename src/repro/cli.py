@@ -1,0 +1,189 @@
+"""Command-line interface for the CATS reproduction.
+
+Four subcommands cover the deployment workflow the paper describes:
+
+``cats train``
+    Train the semantic analyzer and pre-train the detector on a
+    D0-style labeled dataset; save the system to a model directory.
+``cats crawl``
+    Crawl a simulated platform's public website into a JSONL dataset
+    directory (shop/item/comment records).
+``cats detect``
+    Load a trained model and a crawled dataset; report fraud items to
+    stdout (or a file) with their P(fraud).
+``cats evaluate``
+    Load a trained model, build a labeled D1-style dataset, and print
+    the Table VI-style precision/recall/F-score report.
+
+Outside this reproduction the ``crawl`` step would target a real site;
+here it targets the platform simulator, selected by ``--platform``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.persistence import load_cats, save_cats
+from repro.core.pipeline import (
+    evaluate_on_dataset,
+    run_crawl,
+    train_cats,
+)
+from repro.collector.storage import DatasetStore
+from repro.datasets.builders import (
+    build_d1,
+    build_eplatform,
+    default_language,
+)
+from repro.analysis.reporting import render_table
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    print(
+        f"training CATS (D0 scale {args.scale}) ...", file=sys.stderr
+    )
+    cats, d0 = train_cats(default_language(), d0_scale=args.scale)
+    save_cats(cats, args.model_dir)
+    print(
+        f"trained on D0 ({d0.summary()}) -> saved to {args.model_dir}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    language = default_language()
+    if args.platform == "eplatform":
+        platform = build_eplatform(language, scale=args.scale)
+    else:
+        raise SystemExit(f"unknown platform {args.platform!r}")
+    store, crawler = run_crawl(
+        platform,
+        failure_rate=args.failure_rate,
+        duplicate_rate=args.duplicate_rate,
+        seed=args.seed,
+    )
+    store.save(args.output_dir)
+    print(
+        json.dumps(
+            {"collected": store.summary(), "crawl": crawler.stats.as_dict()}
+        )
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    cats = load_cats(args.model_dir)
+    store = DatasetStore.load(args.data_dir)
+    items = store.crawled_items()
+    if not items:
+        raise SystemExit(f"no items found in {args.data_dir}")
+    report = cats.detect(items)
+    rows = []
+    for idx in report.reported_indices():
+        item = items[idx]
+        rows.append(
+            {
+                "item_id": item.item_id,
+                "fraud_probability": round(
+                    float(report.fraud_probability[idx]), 4
+                ),
+                "n_comments": len(item.comments),
+                "sales_volume": item.sales_volume,
+            }
+        )
+    output = json.dumps(
+        {
+            "n_items": len(items),
+            "n_reported": report.n_reported,
+            "filter": report.filter_report,
+            "reported": rows,
+        },
+        indent=2,
+    )
+    if args.output:
+        Path(args.output).write_text(output, encoding="utf-8")
+        print(
+            f"wrote {report.n_reported} reports to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    cats = load_cats(args.model_dir)
+    d1 = build_d1(default_language(), scale=args.scale, seed=args.seed)
+    result, report = evaluate_on_dataset(cats, d1)
+    print(
+        render_table(
+            ["Category", "Precision", "Recall", "F-score"],
+            result.rows(),
+            title=f"CATS on D1 (scale {args.scale})",
+        )
+    )
+    print(
+        f"\nreported={report.n_reported} true_fraud={d1.n_fraud} "
+        f"filter={report.filter_report}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cats",
+        description="CATS cross-platform e-commerce fraud detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train and save a CATS model")
+    train.add_argument("model_dir", help="output model directory")
+    train.add_argument(
+        "--scale", type=float, default=0.05,
+        help="D0 dataset scale (1.0 = paper size)",
+    )
+    train.set_defaults(func=_cmd_train)
+
+    crawl = sub.add_parser("crawl", help="crawl a platform's public site")
+    crawl.add_argument("output_dir", help="JSONL dataset output directory")
+    crawl.add_argument(
+        "--platform", default="eplatform", choices=["eplatform"],
+    )
+    crawl.add_argument("--scale", type=float, default=0.0005)
+    crawl.add_argument("--failure-rate", type=float, default=0.02)
+    crawl.add_argument("--duplicate-rate", type=float, default=0.01)
+    crawl.add_argument("--seed", type=int, default=0)
+    crawl.set_defaults(func=_cmd_crawl)
+
+    detect = sub.add_parser("detect", help="detect frauds in crawled data")
+    detect.add_argument("model_dir", help="trained model directory")
+    detect.add_argument("data_dir", help="crawled dataset directory")
+    detect.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    detect.set_defaults(func=_cmd_detect)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="evaluate a model on a labeled D1-style set"
+    )
+    evaluate.add_argument("model_dir", help="trained model directory")
+    evaluate.add_argument("--scale", type=float, default=0.003)
+    evaluate.add_argument("--seed", type=int, default=200)
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Data-collection substrate (the paper's Scrapy-based collector).
+
+CATS' data collector fetches shop, item and comment data from the public
+pages of an e-commerce platform, filters noisy records, and hands clean
+per-item comment bundles to the feature extractor.  This subpackage
+reproduces it against the simulated website facade
+(:class:`repro.ecommerce.website.PlatformWebsite`):
+
+* :mod:`repro.collector.records` -- typed record schemas matching the
+  fields the paper extracts (its Listing 2 for comments);
+* :mod:`repro.collector.crawler` -- a paginated crawler with bounded
+  retries and exponential backoff over transient failures;
+* :mod:`repro.collector.cleaning` -- duplicate and noise filtering;
+* :mod:`repro.collector.storage` -- a JSONL-backed dataset store that
+  assembles records into :class:`~repro.collector.records.CrawledItem`
+  bundles.
+"""
+
+from repro.collector.cleaning import clean_comments, clean_items, clean_shops
+from repro.collector.crawler import CrawlStats, Crawler
+from repro.collector.ratelimit import TokenBucket
+from repro.collector.records import (
+    CommentRecord,
+    CrawledItem,
+    ItemRecord,
+    ShopRecord,
+)
+from repro.collector.storage import DatasetStore
+
+__all__ = [
+    "CommentRecord",
+    "CrawlStats",
+    "TokenBucket",
+    "CrawledItem",
+    "Crawler",
+    "DatasetStore",
+    "ItemRecord",
+    "ShopRecord",
+    "clean_comments",
+    "clean_items",
+    "clean_shops",
+]

@@ -1,0 +1,57 @@
+"""Noise filtering of raw crawl output.
+
+The paper: "the data collector can filter the noisy data (e.g.,
+duplicated data records)".  Cleaning is idempotent and order-preserving:
+
+* duplicates are removed by primary key (first occurrence wins);
+* comments with empty/whitespace content are dropped;
+* comments referencing items absent from the item crawl are dropped
+  (dangling rows happen when an item listing page failed its retries).
+"""
+
+from __future__ import annotations
+
+from repro.collector.records import CommentRecord, ItemRecord, ShopRecord
+
+
+def clean_shops(shops: list[ShopRecord]) -> list[ShopRecord]:
+    """De-duplicate shop records by shop_id."""
+    seen: set[int] = set()
+    cleaned: list[ShopRecord] = []
+    for shop in shops:
+        if shop.shop_id in seen:
+            continue
+        seen.add(shop.shop_id)
+        cleaned.append(shop)
+    return cleaned
+
+
+def clean_items(items: list[ItemRecord]) -> list[ItemRecord]:
+    """De-duplicate item records by item_id."""
+    seen: set[int] = set()
+    cleaned: list[ItemRecord] = []
+    for item in items:
+        if item.item_id in seen:
+            continue
+        seen.add(item.item_id)
+        cleaned.append(item)
+    return cleaned
+
+
+def clean_comments(
+    comments: list[CommentRecord],
+    known_item_ids: set[int] | None = None,
+) -> list[CommentRecord]:
+    """De-duplicate, drop empty content, drop dangling item references."""
+    seen: set[int] = set()
+    cleaned: list[CommentRecord] = []
+    for comment in comments:
+        if comment.comment_id in seen:
+            continue
+        if not comment.content.strip():
+            continue
+        if known_item_ids is not None and comment.item_id not in known_item_ids:
+            continue
+        seen.add(comment.comment_id)
+        cleaned.append(comment)
+    return cleaned

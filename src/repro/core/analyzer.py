@@ -1,0 +1,108 @@
+"""The semantic analyzer component.
+
+Bundles the three language resources every other CATS component needs
+(paper Section II-B):
+
+* a **word segmenter** -- the paper leans on an off-the-shelf Chinese
+  segmenter; we ship a :class:`~repro.text.segmentation.ViterbiSegmenter`
+  loaded with a stock dictionary of the simulator's language, the exact
+  analogue of using jieba with its stock dictionary;
+* a **word2vec model** trained on a raw comment corpus (the paper used
+  ~70M Taobao comments from August 2017);
+* a **sentiment model** -- the paper uses SnowNLP's pre-trained
+  shopping-review model; ours is trained once on a labeled synthetic
+  review corpus and reused everywhere (see
+  :mod:`repro.semantics.sentiment`).
+
+From these it derives the positive/negative lexicons by seed expansion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.config import CATSConfig
+from repro.core.lexicon import SentimentLexicon, build_lexicon_pair
+from repro.semantics.sentiment import SentimentModel
+from repro.semantics.word2vec import Word2Vec
+from repro.text.segmentation import DictionarySegmenter, ViterbiSegmenter
+
+
+class SemanticAnalyzer:
+    """Trained language resources shared across the CATS pipeline."""
+
+    def __init__(
+        self,
+        segmenter: DictionarySegmenter,
+        word2vec: Word2Vec,
+        sentiment: SentimentModel,
+        lexicon: SentimentLexicon,
+    ) -> None:
+        self.segmenter = segmenter
+        self.word2vec = word2vec
+        self.sentiment = sentiment
+        self.lexicon = lexicon
+
+    @classmethod
+    def train(
+        cls,
+        comment_corpus: Sequence[str],
+        dictionary: Mapping[str, int],
+        sentiment_documents: Sequence[Sequence[str]],
+        sentiment_labels: Sequence[int],
+        positive_seeds: Sequence[str],
+        negative_seeds: Sequence[str],
+        config: CATSConfig | None = None,
+    ) -> "SemanticAnalyzer":
+        """Train every resource from raw data.
+
+        Parameters
+        ----------
+        comment_corpus:
+            Raw (unsegmented) comment strings for word2vec training.
+        dictionary:
+            Stock segmentation dictionary ``{word: weight}`` (the jieba
+            analogue; see module docstring).
+        sentiment_documents / sentiment_labels:
+            Labeled segmented reviews for the sentiment model (the
+            SnowNLP-corpus analogue).
+        positive_seeds / negative_seeds:
+            Seed words for lexicon expansion.
+        """
+        cfg = config or CATSConfig()
+        segmenter = ViterbiSegmenter(dict(dictionary))
+        segmented = [segmenter.segment(text) for text in comment_corpus]
+        w2v = Word2Vec(
+            dim=cfg.word2vec.dim,
+            window=cfg.word2vec.window,
+            negative=cfg.word2vec.negative,
+            min_count=cfg.word2vec.min_count,
+            epochs=cfg.word2vec.epochs,
+            learning_rate=cfg.word2vec.learning_rate,
+            seed=cfg.word2vec.seed,
+        ).fit(segmented)
+        sentiment = SentimentModel().fit(
+            list(sentiment_documents), list(sentiment_labels)
+        )
+        lexicon = build_lexicon_pair(
+            w2v,
+            [s for s in positive_seeds],
+            [s for s in negative_seeds],
+            cfg.lexicon,
+        )
+        return cls(
+            segmenter=segmenter,
+            word2vec=w2v,
+            sentiment=sentiment,
+            lexicon=lexicon,
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    def segment(self, text: str) -> list[str]:
+        """Word-segment one raw comment."""
+        return self.segmenter.segment(text)
+
+    def comment_sentiment(self, text: str) -> float:
+        """Segment and score one raw comment's sentiment."""
+        return self.sentiment.score(self.segment(text))

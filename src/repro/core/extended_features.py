@@ -1,0 +1,143 @@
+"""Extended feature set (the paper's Section VII future work).
+
+The paper closes with "another future research direction is to identify
+more useful features ... and optimize CATS' detector".  This module
+implements that direction with four additional platform-independent
+features computable from the same public comment data:
+
+====  ========================  ==============================================
+ idx  feature                   rationale
+====  ========================  ==============================================
+ 11   maxCommentLength          promotion copy is long; one very long comment
+                                is a stronger signal than a raised average
+ 12   positiveCommentFraction   fraction of comments whose sentiment >= 0.9;
+                                campaigns saturate this, organic reviews don't
+ 13   dateBurstiness            largest fraction of comments falling in any
+                                7-day window; campaigns run in bursts, organic
+                                orders spread over months
+ 14   duplicateWordRatio        repeated-word mass across all comments
+                                (promotional copy repeats selling points)
+====  ========================  ==============================================
+
+:class:`ExtendedFeatureExtractor` appends these to the paper's 11, so
+the extended matrix is a strict superset and ablation comparisons are
+column slices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from datetime import datetime
+
+import numpy as np
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.features import FEATURE_NAMES, FeatureExtractor
+
+EXTENDED_FEATURE_NAMES: tuple[str, ...] = FEATURE_NAMES + (
+    "maxCommentLength",
+    "positiveCommentFraction",
+    "dateBurstiness",
+    "duplicateWordRatio",
+)
+
+N_EXTENDED_FEATURES = len(EXTENDED_FEATURE_NAMES)
+
+_BURST_WINDOW_SECONDS = 7 * 86_400
+_POSITIVE_SENTIMENT_CUTOFF = 0.9
+
+
+def date_burstiness(dates: Sequence[str]) -> float:
+    """Largest fraction of timestamps inside any 7-day window.
+
+    Accepts ``YYYY-MM-DD[ HH:MM:SS]`` strings; unparseable or missing
+    dates are ignored.  Returns 0.0 when fewer than two timestamps
+    parse (burstiness is meaningless for a single order).
+    """
+    stamps: list[float] = []
+    for raw in dates:
+        try:
+            stamps.append(datetime.fromisoformat(raw).timestamp())
+        except (ValueError, TypeError):
+            continue
+    if len(stamps) < 2:
+        return 0.0
+    stamps.sort()
+    arr = np.asarray(stamps)
+    # Two-pointer sweep: for each left edge, count comments within the
+    # window; O(n) total.
+    best = 0
+    right = 0
+    for left in range(len(arr)):
+        if right < left:
+            right = left
+        while right + 1 < len(arr) and arr[right + 1] - arr[left] <= (
+            _BURST_WINDOW_SECONDS
+        ):
+            right += 1
+        best = max(best, right - left + 1)
+    return best / len(arr)
+
+
+class ExtendedFeatureExtractor(FeatureExtractor):
+    """The 11 Table II features plus the four extended features.
+
+    Items must expose comment *records* (content + date) for the
+    temporal feature; plain strings still work, with ``dateBurstiness``
+    fixed at 0.0.
+    """
+
+    def __init__(self, analyzer: SemanticAnalyzer) -> None:
+        super().__init__(analyzer)
+
+    def extract_extended(
+        self,
+        comments: Sequence[str],
+        dates: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Extended feature vector for one item."""
+        base = super().extract(comments)
+        if len(comments) == 0:
+            return np.concatenate([base, np.zeros(4)])
+
+        max_length = 0
+        positive_count = 0
+        total_words = 0
+        duplicate_words = 0
+        for text in comments:
+            words = self.analyzer.segment(text)
+            max_length = max(max_length, len(words))
+            total_words += len(words)
+            duplicate_words += len(words) - len(set(words))
+            if (
+                self.analyzer.sentiment.score(words)
+                >= _POSITIVE_SENTIMENT_CUTOFF
+            ):
+                positive_count += 1
+        burst = date_burstiness(dates) if dates else 0.0
+        extra = np.array(
+            [
+                float(max_length),
+                positive_count / len(comments),
+                burst,
+                (duplicate_words / total_words) if total_words else 0.0,
+            ]
+        )
+        return np.concatenate([base, extra])
+
+    def extract_items(self, items: Sequence) -> np.ndarray:
+        """Extended feature matrix for comment-record-bearing items.
+
+        Works with :class:`~repro.ecommerce.entities.Item` and
+        :class:`~repro.collector.records.CrawledItem`, whose comments
+        carry ``date`` fields.
+        """
+        if len(items) == 0:
+            return np.zeros((0, N_EXTENDED_FEATURES))
+        rows = []
+        for item in items:
+            dates = [
+                getattr(comment, "date", "") for comment in item.comments
+            ]
+            rows.append(self.extract_extended(item.comment_texts, dates))
+        return np.vstack(rows)

@@ -1,0 +1,153 @@
+"""The 11-feature extractor (paper Table II).
+
+Given one item's comments, the extractor produces:
+
+====  ================================  =======================================
+ idx  feature                           definition (paper Section II-A)
+====  ================================  =======================================
+  0   averagePositiveNumber             sum_j |C_j ^ P| / |C_i|
+  1   averagePositive/NegativeNumber    sum_j abs(|C_j ^ P| - |C_j ^ N|) / |C_i|
+  2   uniqueWordRatio                   #unique words / #words over all comments
+  3   averageSentiment                  mean per-comment P(positive)
+  4   averageCommentEntropy             mean per-comment word entropy
+  5   averageCommentLength              mean comment length in words
+  6   sumCommentLength                  total comment length in words
+  7   sumPunctuationNumber              total punctuation marks
+  8   averagePunctuationRatio           mean per-comment punctuation/char ratio
+  9   averageNgramNumber                sum_j #positive-2grams(C_j) / |C_i|
+ 10   averageNgramRatio                 sum_j #pos-2grams / (|C_i| * (|C_j|-1))
+====  ================================  =======================================
+
+``|C_j ^ P|`` counts *distinct* positive words in comment j, following
+the paper's set notation.  A positive 2-gram is a contiguous word pair
+with at least one member in P.
+
+All features are computed from the raw comment text plus its
+segmentation; the semantic analyzer supplies segmentation, lexicons and
+sentiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.text.ngrams import positive_bigram_count
+from repro.text.stats import (
+    comment_entropy,
+    punctuation_count,
+    punctuation_ratio,
+)
+
+#: Feature names in column order, spelled as in the paper.
+FEATURE_NAMES: tuple[str, ...] = (
+    "averagePositiveNumber",
+    "averagePositive/NegativeNumber",
+    "uniqueWordRatio",
+    "averageSentiment",
+    "averageCommentEntropy",
+    "averageCommentLength",
+    "sumCommentLength",
+    "sumPunctuationNumber",
+    "averagePunctuationRatio",
+    "averageNgramNumber",
+    "averageNgramRatio",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+class FeatureExtractor:
+    """Computes the Table II feature vector for items.
+
+    Parameters
+    ----------
+    analyzer:
+        A trained :class:`~repro.core.analyzer.SemanticAnalyzer`
+        providing segmentation, the P/N lexicons and sentiment scores.
+    """
+
+    def __init__(self, analyzer: SemanticAnalyzer) -> None:
+        self.analyzer = analyzer
+
+    # -- single item ------------------------------------------------------
+
+    def extract(self, comments: Sequence[str]) -> np.ndarray:
+        """Feature vector for one item given its raw comment texts.
+
+        An item with no comments yields the all-zero vector (such items
+        are normally removed by the rule filter first).
+        """
+        n_comments = len(comments)
+        if n_comments == 0:
+            return np.zeros(N_FEATURES)
+
+        positive = self.analyzer.lexicon.positive
+        negative = self.analyzer.lexicon.negative
+
+        sum_pos_distinct = 0
+        sum_abs_pos_neg = 0
+        total_words = 0
+        unique_words: set[str] = set()
+        sum_sentiment = 0.0
+        sum_entropy = 0.0
+        sum_punct = 0
+        sum_punct_ratio = 0.0
+        sum_pos_bigrams = 0
+        sum_bigram_ratio = 0.0
+
+        for text in comments:
+            words = self.analyzer.segment(text)
+            word_set = set(words)
+            n_pos = len(word_set & positive)
+            n_neg = len(word_set & negative)
+            sum_pos_distinct += n_pos
+            sum_abs_pos_neg += abs(n_pos - n_neg)
+            total_words += len(words)
+            unique_words |= word_set
+            sum_sentiment += self.analyzer.sentiment.score(words)
+            sum_entropy += comment_entropy(words)
+            sum_punct += punctuation_count(text)
+            sum_punct_ratio += punctuation_ratio(text)
+            n_bigrams_pos = positive_bigram_count(words, positive)
+            sum_pos_bigrams += n_bigrams_pos
+            if len(words) > 1:
+                sum_bigram_ratio += n_bigrams_pos / (
+                    n_comments * (len(words) - 1)
+                )
+
+        return np.array(
+            [
+                sum_pos_distinct / n_comments,
+                sum_abs_pos_neg / n_comments,
+                (len(unique_words) / total_words) if total_words else 0.0,
+                sum_sentiment / n_comments,
+                sum_entropy / n_comments,
+                total_words / n_comments,
+                float(total_words),
+                float(sum_punct),
+                sum_punct_ratio / n_comments,
+                sum_pos_bigrams / n_comments,
+                sum_bigram_ratio,
+            ]
+        )
+
+    # -- batches -----------------------------------------------------------
+
+    def extract_many(
+        self, comment_lists: Sequence[Sequence[str]]
+    ) -> np.ndarray:
+        """Feature matrix for a batch of items (rows follow input order)."""
+        if len(comment_lists) == 0:
+            return np.zeros((0, N_FEATURES))
+        return np.vstack([self.extract(c) for c in comment_lists])
+
+    def extract_items(self, items: Sequence) -> np.ndarray:
+        """Feature matrix for objects exposing ``comment_texts``.
+
+        Works with both :class:`repro.ecommerce.entities.Item` and
+        :class:`repro.collector.records.CrawledItem`.
+        """
+        return self.extract_many([item.comment_texts for item in items])

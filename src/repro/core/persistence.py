@@ -1,0 +1,324 @@
+"""Save / load trained CATS systems.
+
+The paper's deployment story is a *pre-trained* detector: train once on
+Taobao's labeled D0, then run on any platform's public data.  That
+requires the trained artifacts to survive a process boundary, so this
+module serializes a complete :class:`~repro.core.system.CATS` instance
+to a directory:
+
+``manifest.json``
+    format version, configuration, component inventory.
+``segmenter.json``
+    the segmentation dictionary (word -> weight).
+``word2vec.npz`` / ``word2vec_vocab.json``
+    embedding matrices and vocabulary counts.
+``sentiment.npz`` / ``sentiment_vocab.json``
+    naive-Bayes log-probability tables and vocabulary.
+``lexicon.json``
+    the expanded positive / negative sets.
+``detector.json`` / ``detector.npz``
+    the stage-2 classifier (GBDT trees flattened to arrays; other
+    classifiers store their numpy parameters) plus the optional scaler.
+
+Everything is plain JSON + ``.npz`` -- no pickling, so archives are
+portable and inspectable, and loading untrusted files cannot execute
+code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import (
+    CATSConfig,
+    DetectorConfig,
+    LexiconConfig,
+    RuleConfig,
+    Word2VecConfig,
+)
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.detector import Detector
+from repro.core.lexicon import SentimentLexicon
+from repro.core.system import CATS
+from repro.ml import (
+    GradientBoostingClassifier,
+    LinearSVC,
+    StandardScaler,
+)
+from repro.ml.gbdt import _BoostTree
+from repro.ml.naive_bayes import MultinomialNB
+from repro.semantics.sentiment import SentimentModel
+from repro.semantics.word2vec import Word2Vec
+from repro.text.segmentation import ViterbiSegmenter
+from repro.text.vocabulary import Vocabulary
+
+FORMAT_VERSION = 1
+
+#: Stage-2 classifiers that can be round-tripped.  Tree ensembles and
+#: linear models cover the shipped detector ("xgboost") plus "svm"; the
+#: remaining candidates are research-comparison models and are rejected
+#: with a clear error instead of being silently mis-saved.
+_SAVABLE_CLASSIFIERS = ("xgboost", "svm")
+
+
+class PersistenceError(RuntimeError):
+    """Raised when an archive is missing, corrupt, or unsupported."""
+
+
+def _config_to_dict(config: CATSConfig) -> dict[str, Any]:
+    return {
+        "lexicon": dataclasses.asdict(config.lexicon),
+        "word2vec": dataclasses.asdict(config.word2vec),
+        "rules": dataclasses.asdict(config.rules),
+        "detector": dataclasses.asdict(config.detector),
+    }
+
+
+def _config_from_dict(data: dict[str, Any]) -> CATSConfig:
+    return CATSConfig(
+        lexicon=LexiconConfig(**data["lexicon"]),
+        word2vec=Word2VecConfig(**data["word2vec"]),
+        rules=RuleConfig(**data["rules"]),
+        detector=DetectorConfig(**data["detector"]),
+    )
+
+
+# -- component writers ---------------------------------------------------
+
+
+def _save_word2vec(model: Word2Vec, directory: Path) -> None:
+    np.savez_compressed(
+        directory / "word2vec.npz",
+        input=model._input,
+        output=model._output,
+    )
+    vocab = {
+        "words": list(model.vocabulary),
+        "counts": [model.vocabulary.count(w) for w in model.vocabulary],
+        "dim": model.dim,
+    }
+    (directory / "word2vec_vocab.json").write_text(
+        json.dumps(vocab), encoding="utf-8"
+    )
+
+
+def _load_word2vec(directory: Path) -> Word2Vec:
+    vocab_data = json.loads(
+        (directory / "word2vec_vocab.json").read_text(encoding="utf-8")
+    )
+    arrays = np.load(directory / "word2vec.npz")
+    model = Word2Vec(dim=int(vocab_data["dim"]))
+    vocab = Vocabulary()
+    for word, count in zip(vocab_data["words"], vocab_data["counts"]):
+        vocab.add(word, int(count))
+    model.vocabulary = vocab
+    model._input = arrays["input"]
+    model._output = arrays["output"]
+    if model._input.shape != (len(vocab), model.dim):
+        raise PersistenceError(
+            "word2vec arrays do not match the stored vocabulary"
+        )
+    return model
+
+
+def _save_sentiment(model: SentimentModel, directory: Path) -> None:
+    nb = model._nb
+    np.savez_compressed(
+        directory / "sentiment.npz",
+        feature_log_prob=nb.feature_log_prob_,
+        class_log_prior=nb.class_log_prior_,
+    )
+    vocab = model.vocabulary
+    data = {
+        "words": list(vocab),
+        "counts": [vocab.count(w) for w in vocab],
+        "alpha": nb.alpha,
+    }
+    (directory / "sentiment_vocab.json").write_text(
+        json.dumps(data), encoding="utf-8"
+    )
+
+
+def _load_sentiment(directory: Path) -> SentimentModel:
+    data = json.loads(
+        (directory / "sentiment_vocab.json").read_text(encoding="utf-8")
+    )
+    arrays = np.load(directory / "sentiment.npz")
+    model = SentimentModel(alpha=float(data["alpha"]))
+    vocab = Vocabulary()
+    for word, count in zip(data["words"], data["counts"]):
+        vocab.add(word, int(count))
+    model._vocabulary = vocab
+    nb = MultinomialNB(alpha=float(data["alpha"]))
+    nb.vocab_size = len(vocab)
+    nb.feature_log_prob_ = arrays["feature_log_prob"]
+    nb.class_log_prior_ = arrays["class_log_prior"]
+    model._nb = nb
+    if nb.feature_log_prob_.shape != (2, len(vocab)):
+        raise PersistenceError(
+            "sentiment arrays do not match the stored vocabulary"
+        )
+    return model
+
+
+def _save_detector(detector: Detector, directory: Path) -> None:
+    name = detector.config.classifier
+    if name not in _SAVABLE_CLASSIFIERS:
+        raise PersistenceError(
+            f"classifier {name!r} cannot be serialized; ship one of "
+            f"{_SAVABLE_CLASSIFIERS}"
+        )
+    model = detector.model
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, Any] = {"classifier": name}
+    if isinstance(model, GradientBoostingClassifier):
+        meta["n_trees"] = len(model.trees_)
+        meta["base_margin"] = model.base_margin_
+        meta["learning_rate"] = model.learning_rate
+        meta["n_features"] = model.n_features_in_
+        for i, tree in enumerate(model.trees_):
+            arrays[f"tree{i}_children_left"] = tree.children_left
+            arrays[f"tree{i}_children_right"] = tree.children_right
+            arrays[f"tree{i}_feature"] = tree.feature
+            arrays[f"tree{i}_threshold"] = tree.threshold
+            arrays[f"tree{i}_leaf_weight"] = tree.leaf_weight
+            arrays[f"tree{i}_split_gain"] = tree.split_gain
+    elif isinstance(model, LinearSVC):
+        meta["intercept"] = model.intercept_
+        meta["n_features"] = model.n_features_in_
+        arrays["coef"] = model.coef_
+    if detector._scaler is not None:
+        meta["scaled"] = True
+        arrays["scaler_mean"] = detector._scaler.mean_
+        arrays["scaler_scale"] = detector._scaler.scale_
+    else:
+        meta["scaled"] = False
+    np.savez_compressed(directory / "detector.npz", **arrays)
+    (directory / "detector.json").write_text(
+        json.dumps(meta), encoding="utf-8"
+    )
+
+
+def _load_detector(directory: Path, config: CATSConfig) -> Detector:
+    meta = json.loads(
+        (directory / "detector.json").read_text(encoding="utf-8")
+    )
+    arrays = np.load(directory / "detector.npz")
+    detector = Detector(config.detector, config.rules)
+    name = meta["classifier"]
+    if name != config.detector.classifier:
+        raise PersistenceError(
+            f"archive holds a {name!r} classifier but the stored config "
+            f"names {config.detector.classifier!r}"
+        )
+    if name == "xgboost":
+        model = GradientBoostingClassifier(
+            learning_rate=float(meta["learning_rate"])
+        )
+        model.n_features_in_ = int(meta["n_features"])
+        model.base_margin_ = float(meta["base_margin"])
+        model.trees_ = [
+            _BoostTree(
+                children_left=arrays[f"tree{i}_children_left"],
+                children_right=arrays[f"tree{i}_children_right"],
+                feature=arrays[f"tree{i}_feature"],
+                threshold=arrays[f"tree{i}_threshold"],
+                leaf_weight=arrays[f"tree{i}_leaf_weight"],
+                split_gain=arrays[f"tree{i}_split_gain"],
+            )
+            for i in range(int(meta["n_trees"]))
+        ]
+    elif name == "svm":
+        model = LinearSVC()
+        model.n_features_in_ = int(meta["n_features"])
+        model.coef_ = arrays["coef"]
+        model.intercept_ = float(meta["intercept"])
+    else:  # pragma: no cover - guarded at save time
+        raise PersistenceError(f"unsupported classifier {name!r}")
+    detector._model = model
+    if meta["scaled"]:
+        scaler = StandardScaler()
+        scaler.mean_ = arrays["scaler_mean"]
+        scaler.scale_ = arrays["scaler_scale"]
+        scaler.n_features_in_ = len(scaler.mean_)
+        detector._scaler = scaler
+    return detector
+
+
+# -- public API -------------------------------------------------------------
+
+
+def save_cats(cats: CATS, directory: str | Path) -> None:
+    """Serialize a trained CATS system under *directory*.
+
+    Raises :class:`PersistenceError` when the detector is unfitted or
+    its classifier type is not serializable.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    segmenter = cats.analyzer.segmenter
+    if not isinstance(segmenter, ViterbiSegmenter):
+        raise PersistenceError(
+            "only ViterbiSegmenter-based analyzers are serializable"
+        )
+    (path / "segmenter.json").write_text(
+        json.dumps(segmenter._counts), encoding="utf-8"
+    )
+    _save_word2vec(cats.analyzer.word2vec, path)
+    _save_sentiment(cats.analyzer.sentiment, path)
+    (path / "lexicon.json").write_text(
+        json.dumps(
+            {
+                "positive": sorted(cats.analyzer.lexicon.positive),
+                "negative": sorted(cats.analyzer.lexicon.negative),
+            }
+        ),
+        encoding="utf-8",
+    )
+    _save_detector(cats.detector, path)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "config": _config_to_dict(cats.config),
+    }
+    (path / "manifest.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+
+
+def load_cats(directory: str | Path) -> CATS:
+    """Load a CATS system previously written by :func:`save_cats`."""
+    path = Path(directory)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise PersistenceError(f"no CATS archive at {path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported archive version {manifest.get('format_version')}"
+        )
+    config = _config_from_dict(manifest["config"])
+
+    dictionary = json.loads(
+        (path / "segmenter.json").read_text(encoding="utf-8")
+    )
+    lexicon_data = json.loads(
+        (path / "lexicon.json").read_text(encoding="utf-8")
+    )
+    analyzer = SemanticAnalyzer(
+        segmenter=ViterbiSegmenter(dictionary),
+        word2vec=_load_word2vec(path),
+        sentiment=_load_sentiment(path),
+        lexicon=SentimentLexicon(
+            positive=frozenset(lexicon_data["positive"]),
+            negative=frozenset(lexicon_data["negative"]),
+        ),
+    )
+    cats = CATS(analyzer, config=config)
+    cats.detector = _load_detector(path, config)
+    return cats

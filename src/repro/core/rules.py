@@ -1,0 +1,101 @@
+"""Detector stage 1: rule filtering.
+
+"First, it filters part of the items according to some rules, e.g.,
+filtering the e-commerce items, of which the sales volumes are less than
+5, and filtering the e-commerce items which contain no positive n-grams
+or words." (paper Section II-B)
+
+Filtered items are *not* sent to the classifier and are reported as
+normal -- a fraud campaign's whole point is to inflate sales and
+positive feedback, so an item with neither has not been promoted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.config import RuleConfig
+from repro.core.features import FEATURE_NAMES
+
+_POSITIVE_NUMBER_IDX = FEATURE_NAMES.index("averagePositiveNumber")
+_NGRAM_NUMBER_IDX = FEATURE_NAMES.index("averageNgramNumber")
+
+
+class RuleFilter:
+    """Applies the stage-1 filter rules to a batch of items."""
+
+    def __init__(self, config: RuleConfig | None = None) -> None:
+        self.config = config or RuleConfig()
+
+    def passes(
+        self,
+        sales_volume: int,
+        n_comments: int,
+        features: np.ndarray,
+    ) -> bool:
+        """True when one item survives filtering and reaches stage 2."""
+        cfg = self.config
+        if sales_volume < cfg.min_sales_volume:
+            return False
+        if n_comments < cfg.min_comments:
+            return False
+        if cfg.require_positive_evidence:
+            has_positive_words = features[_POSITIVE_NUMBER_IDX] > 0.0
+            has_positive_ngrams = features[_NGRAM_NUMBER_IDX] > 0.0
+            if not (has_positive_words or has_positive_ngrams):
+                return False
+        return True
+
+    def mask(
+        self,
+        items: Sequence,
+        feature_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean pass-mask for *items* (objects with ``sales_volume``
+        and ``comment_texts``) aligned with *feature_matrix* rows."""
+        if len(items) != feature_matrix.shape[0]:
+            raise ValueError(
+                f"items ({len(items)}) and feature rows "
+                f"({feature_matrix.shape[0]}) disagree"
+            )
+        return np.array(
+            [
+                self.passes(
+                    item.sales_volume,
+                    len(item.comment_texts),
+                    feature_matrix[i],
+                )
+                for i, item in enumerate(items)
+            ],
+            dtype=bool,
+        )
+
+    def filter_report(
+        self, items: Sequence, feature_matrix: np.ndarray
+    ) -> dict[str, int]:
+        """Count how many items each rule removes (for diagnostics)."""
+        cfg = self.config
+        low_sales = 0
+        no_comments = 0
+        no_positive = 0
+        passed = 0
+        for i, item in enumerate(items):
+            if item.sales_volume < cfg.min_sales_volume:
+                low_sales += 1
+            elif len(item.comment_texts) < cfg.min_comments:
+                no_comments += 1
+            elif cfg.require_positive_evidence and not (
+                feature_matrix[i, _POSITIVE_NUMBER_IDX] > 0.0
+                or feature_matrix[i, _NGRAM_NUMBER_IDX] > 0.0
+            ):
+                no_positive += 1
+            else:
+                passed += 1
+        return {
+            "filtered_low_sales": low_sales,
+            "filtered_no_comments": no_comments,
+            "filtered_no_positive_evidence": no_positive,
+            "passed": passed,
+        }

@@ -1,0 +1,192 @@
+"""Streaming detection: continuous monitoring of live comment feeds.
+
+The deployed CATS (paper Section VI: "partially incorporated ... into
+Taobao") does not score a frozen snapshot -- comments keep arriving, and
+an item's fraud evidence accumulates over time.  :class:`StreamingDetector`
+wraps a trained :class:`~repro.core.system.CATS` for that regime:
+
+* :meth:`observe` ingests comment records one at a time (e.g. from a
+  recurring crawl), buffering them per item;
+* items are (re-)scored lazily when their buffered evidence grew enough
+  since the last scoring (``rescore_growth`` controls how much), so a
+  busy feed does not re-extract features on every comment;
+* crossing the reporting threshold emits an :class:`Alert` exactly once
+  per item; an item whose score later falls below the threshold is not
+  un-reported (matching how takedown pipelines behave), but its latest
+  score remains queryable.
+
+The stage-1 rule filter applies at scoring time, so an item alerts only
+once it has real sales/comment volume -- early sparse evidence cannot
+trigger a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collector.records import CommentRecord
+from repro.core.system import CATS
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One item crossing the reporting threshold."""
+
+    item_id: int
+    fraud_probability: float
+    n_comments: int
+    triggered_by_comment_id: int
+
+
+@dataclass
+class _ItemState:
+    """Mutable per-item tracking state."""
+
+    sales_volume: int = 0
+    comments: list[CommentRecord] = field(default_factory=list)
+    last_scored_size: int = 0
+    last_probability: float = 0.0
+    alerted: bool = False
+
+    @property
+    def comment_texts(self) -> list[str]:
+        return [comment.content for comment in self.comments]
+
+
+class StreamingDetector:
+    """Incremental fraud monitoring over a comment stream.
+
+    Parameters
+    ----------
+    cats:
+        A trained CATS system (detector fitted).
+    rescore_growth:
+        Re-score an item when its comment count grew by this factor
+        since the last scoring (1.0 = every new comment; 1.25 = after
+        25% growth).  Crossing checks always use the latest score.
+    min_comments_to_score:
+        Do not score items with fewer buffered comments (scores on 1-2
+        comments are noise).
+    """
+
+    def __init__(
+        self,
+        cats: CATS,
+        rescore_growth: float = 1.25,
+        min_comments_to_score: int = 3,
+    ) -> None:
+        if rescore_growth < 1.0:
+            raise ValueError(
+                f"rescore_growth must be >= 1.0, got {rescore_growth}"
+            )
+        if min_comments_to_score < 1:
+            raise ValueError(
+                "min_comments_to_score must be >= 1, got "
+                f"{min_comments_to_score}"
+            )
+        self.cats = cats
+        self.rescore_growth = rescore_growth
+        self.min_comments_to_score = min_comments_to_score
+        self._items: dict[int, _ItemState] = {}
+        self._alerts: list[Alert] = []
+
+    # -- ingestion -----------------------------------------------------
+
+    def update_sales(self, item_id: int, sales_volume: int) -> None:
+        """Record an item's latest listed sales volume."""
+        state = self._items.setdefault(item_id, _ItemState())
+        state.sales_volume = max(state.sales_volume, sales_volume)
+
+    def observe(self, comment: CommentRecord) -> Alert | None:
+        """Ingest one comment; returns an Alert if the item crosses.
+
+        Each comment is one completed order, so sales volume advances
+        with the buffer even when listing data lags.
+        """
+        state = self._items.setdefault(comment.item_id, _ItemState())
+        state.comments.append(comment)
+        state.sales_volume = max(state.sales_volume, len(state.comments))
+
+        if len(state.comments) < self.min_comments_to_score:
+            return None
+        due = (
+            state.last_scored_size == 0
+            or len(state.comments)
+            >= self.rescore_growth * state.last_scored_size
+        )
+        if not due:
+            return None
+        return self._score(comment.item_id, state, comment.comment_id)
+
+    def observe_many(
+        self, comments: list[CommentRecord]
+    ) -> list[Alert]:
+        """Ingest a batch (e.g. one crawl cycle); returns new alerts."""
+        alerts = []
+        for comment in comments:
+            alert = self.observe(comment)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    # -- scoring -------------------------------------------------------------
+
+    def _score(
+        self, item_id: int, state: _ItemState, trigger_id: int
+    ) -> Alert | None:
+        features = self.cats.feature_extractor.extract(state.comment_texts)
+        detector = self.cats.detector
+        passes = detector.rule_filter.passes(
+            state.sales_volume, len(state.comments), features
+        )
+        if passes:
+            probability = float(
+                detector.predict_proba(features.reshape(1, -1))[0]
+            )
+        else:
+            probability = 0.0
+        state.last_scored_size = len(state.comments)
+        state.last_probability = probability
+        if probability >= detector.config.threshold and not state.alerted:
+            state.alerted = True
+            alert = Alert(
+                item_id=item_id,
+                fraud_probability=probability,
+                n_comments=len(state.comments),
+                triggered_by_comment_id=trigger_id,
+            )
+            self._alerts.append(alert)
+            return alert
+        return None
+
+    def force_rescore(self, item_id: int) -> float:
+        """Score an item immediately; returns its P(fraud)."""
+        if item_id not in self._items:
+            raise KeyError(f"unknown item {item_id}")
+        state = self._items[item_id]
+        last = state.comments[-1].comment_id if state.comments else -1
+        self._score(item_id, state, last)
+        return state.last_probability
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """All alerts emitted so far, in order."""
+        return list(self._alerts)
+
+    @property
+    def n_items_tracked(self) -> int:
+        """Number of items with buffered state."""
+        return len(self._items)
+
+    def probability(self, item_id: int) -> float:
+        """Latest scored P(fraud) for *item_id* (0.0 if never scored)."""
+        state = self._items.get(item_id)
+        return state.last_probability if state else 0.0
+
+    def flagged_items(self) -> list[int]:
+        """Item ids alerted so far."""
+        return [alert.item_id for alert in self._alerts]

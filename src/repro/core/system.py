@@ -1,0 +1,86 @@
+"""The CATS system facade.
+
+Ties the four components together behind the workflow of the paper's
+Fig. 6: train the semantic analyzer once on a large comment corpus,
+pre-train the detector on a labeled dataset (D0), then detect frauds on
+any platform's public data -- including platforms the detector was never
+trained on, which is the paper's cross-platform claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.config import CATSConfig
+from repro.core.detector import DetectionReport, Detector
+from repro.core.features import FeatureExtractor
+
+
+class CATS:
+    """Cross-platform AnTi-fraud System.
+
+    Parameters
+    ----------
+    analyzer:
+        A trained :class:`SemanticAnalyzer` (see
+        :meth:`SemanticAnalyzer.train`).
+    config:
+        Full system configuration; the detector settings select the
+        stage-2 classifier.
+    """
+
+    def __init__(
+        self,
+        analyzer: SemanticAnalyzer,
+        config: CATSConfig | None = None,
+    ) -> None:
+        self.config = config or CATSConfig()
+        self.analyzer = analyzer
+        self.feature_extractor = FeatureExtractor(analyzer)
+        self.detector = Detector(self.config.detector, self.config.rules)
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, items: Sequence, labels: Sequence[int]) -> "CATS":
+        """Pre-train the detector on labeled *items* (the D0 role).
+
+        ``items`` expose ``comment_texts``; *labels* are 1 = fraud.
+        """
+        if len(items) != len(labels):
+            raise ValueError("items and labels must have equal length")
+        features = self.feature_extractor.extract_items(items)
+        self.detector.fit(features, np.asarray(labels))
+        return self
+
+    def fit_features(
+        self, features: np.ndarray, labels: Sequence[int]
+    ) -> "CATS":
+        """Pre-train the detector on an existing feature matrix."""
+        self.detector.fit(features, np.asarray(labels))
+        return self
+
+    # -- detection -----------------------------------------------------------
+
+    def extract_features(self, items: Sequence) -> np.ndarray:
+        """Feature matrix for *items* (exposes the extractor)."""
+        return self.feature_extractor.extract_items(items)
+
+    def detect(self, items: Sequence) -> DetectionReport:
+        """Detect fraud items among *items* on any platform."""
+        features = self.feature_extractor.extract_items(items)
+        return self.detector.detect(items, features)
+
+    def detect_with_features(
+        self, items: Sequence, features: np.ndarray
+    ) -> DetectionReport:
+        """Detect when features were already extracted (avoids rework)."""
+        return self.detector.detect(items, features)
+
+    # -- introspection --------------------------------------------------------
+
+    def feature_importances(self) -> np.ndarray | None:
+        """Stage-2 feature importances when available (Fig. 7)."""
+        return self.detector.feature_importances()

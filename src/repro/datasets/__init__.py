@@ -1,0 +1,46 @@
+"""Dataset builders for the paper's experiments.
+
+The paper uses three datasets, none public:
+
+* **D0** -- labeled ground truth from Taobao: 14,000 fraud items,
+  20,000 normal items, 474,000 comments.  Pre-trains the detector and
+  drives the Table III classifier comparison.
+* **D1** -- large-scale labeled Taobao data: 18,682 fraud items (16,782
+  with transaction evidence), 1,461,452 normal items, 72.3M comments.
+  Tests the pre-trained system (Table VI).
+* **E-platform crawl** -- ~4.5M items and >100M comments crawled from a
+  second platform's public site.  Drives the cross-platform application
+  (Section IV) and the measurement study (Section V).
+
+The builders here synthesize all three from the platform simulator at a
+configurable ``scale`` (1.0 = paper size), preserving class ratios and
+per-item comment volumes.  A shared :class:`SyntheticLanguage` plays the
+role Chinese plays for the real platforms.
+"""
+
+from repro.datasets.builders import (
+    LabeledDataset,
+    PAPER_D0,
+    PAPER_D1,
+    build_analyzer,
+    build_d0,
+    build_d1,
+    build_eplatform,
+    build_semantic_corpus,
+    default_language,
+)
+from repro.datasets.splits import balanced_sample, features_and_labels
+
+__all__ = [
+    "LabeledDataset",
+    "PAPER_D0",
+    "PAPER_D1",
+    "balanced_sample",
+    "build_analyzer",
+    "build_d0",
+    "build_d1",
+    "build_eplatform",
+    "build_semantic_corpus",
+    "default_language",
+    "features_and_labels",
+]

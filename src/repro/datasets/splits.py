@@ -1,0 +1,49 @@
+"""Split/sampling helpers over labeled datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor
+from repro.datasets.builders import LabeledDataset
+from repro.ml.base import as_rng
+
+
+def features_and_labels(
+    dataset: LabeledDataset, extractor: FeatureExtractor
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract the feature matrix and aligned labels for *dataset*."""
+    X = extractor.extract_items(dataset.items)
+    return X, dataset.labels.copy()
+
+
+def balanced_sample(
+    dataset: LabeledDataset,
+    n_per_class: int,
+    seed: int | np.random.Generator | None = 0,
+) -> LabeledDataset:
+    """Sample *n_per_class* fraud and normal items (paper's 5k+5k picks).
+
+    Used by the distribution studies (Figs 1-5), which the paper runs on
+    "5,000 fraud items ... and 5,000 normal items" randomly picked.
+    """
+    rng = as_rng(seed)
+    fraud_idx = np.flatnonzero(dataset.labels == 1)
+    normal_idx = np.flatnonzero(dataset.labels == 0)
+    if len(fraud_idx) < n_per_class or len(normal_idx) < n_per_class:
+        raise ValueError(
+            f"dataset has {len(fraud_idx)} fraud / {len(normal_idx)} normal "
+            f"items; cannot sample {n_per_class} per class"
+        )
+    picks = np.concatenate(
+        [
+            rng.choice(fraud_idx, n_per_class, replace=False),
+            rng.choice(normal_idx, n_per_class, replace=False),
+        ]
+    )
+    rng.shuffle(picks)
+    return LabeledDataset(
+        name=f"{dataset.name}-balanced-{n_per_class}",
+        items=[dataset.items[i] for i in picks],
+        labels=dataset.labels[picks].copy(),
+    )

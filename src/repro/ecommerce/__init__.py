@@ -1,0 +1,59 @@
+"""Synthetic e-commerce platform substrate.
+
+The paper evaluates CATS on two real platforms: Taobao (internal labeled
+datasets D0/D1 provided by Alibaba) and "E-platform" (crawled public
+data).  Neither dataset is public, so this subpackage builds the closest
+synthetic equivalent: a configurable platform simulator that generates
+shops, users, items, orders and comments, and injects *fraud campaigns*
+(hired low-reputation users posting promotional comments) exactly the
+way the paper describes malicious merchants operating.
+
+Ground-truth fraud labels fall out of the injection process, replacing
+Alibaba's expert labels.  Generator parameters are calibrated so that the
+statistical contrasts the paper measures (Figs 1-5 and 10-13) hold; see
+DESIGN.md section 5.
+
+Modules:
+
+* :mod:`repro.ecommerce.entities` -- User/Shop/Item/Comment/Order records.
+* :mod:`repro.ecommerce.language` -- the synthetic comment language
+  (lexicon with positive/negative/neutral words and typo variants;
+  comment generators per behaviour style).
+* :mod:`repro.ecommerce.fraud` -- fraud-campaign model (promoter cohorts,
+  promotion order streams).
+* :mod:`repro.ecommerce.generator` -- assembles a full
+  :class:`~repro.ecommerce.entities.Platform` from a profile.
+* :mod:`repro.ecommerce.profiles` -- per-platform parameter sets
+  (Taobao-like and E-platform-like).
+* :mod:`repro.ecommerce.website` -- paginated public-web facade with
+  simulated failures/duplicates, crawled by :mod:`repro.collector`.
+"""
+
+from repro.ecommerce.entities import Comment, Item, Platform, Shop, User
+from repro.ecommerce.fraud import FraudCampaign, PromoterPool
+from repro.ecommerce.generator import PlatformGenerator
+from repro.ecommerce.language import CommentStyle, SyntheticLanguage
+from repro.ecommerce.profiles import (
+    PlatformProfile,
+    eplatform_profile,
+    taobao_profile,
+)
+from repro.ecommerce.website import PlatformWebsite, TransientHTTPError
+
+__all__ = [
+    "Comment",
+    "CommentStyle",
+    "FraudCampaign",
+    "Item",
+    "Platform",
+    "PlatformGenerator",
+    "PlatformProfile",
+    "PlatformWebsite",
+    "PromoterPool",
+    "Shop",
+    "SyntheticLanguage",
+    "TransientHTTPError",
+    "User",
+    "eplatform_profile",
+    "taobao_profile",
+]

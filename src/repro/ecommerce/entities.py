@@ -1,0 +1,169 @@
+"""Entity records of the simulated platform.
+
+The fields mirror what the paper's data collector extracts from public
+pages (its Section IV-A): shops carry id/url/name; items carry id, name,
+price and sales volume; comments carry the fields of the paper's
+Listing 2 -- item id, comment id, content, anonymized nickname,
+userExpValue, client information and date.  Ground-truth fraud labels
+(which on the real platforms came from Alibaba's financial-transaction
+evidence or expert analysis) are attached to items by the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Client(str, Enum):
+    """Order/comment source client, as recorded on the comment page."""
+
+    WEB = "web"
+    ANDROID = "android"
+    IPHONE = "iphone"
+    WECHAT = "wechat"
+
+
+class FraudLabel(str, Enum):
+    """Ground-truth label of an item.
+
+    ``EVIDENCED`` corresponds to the paper's "labeled as fraud since
+    there exist sufficient evidence (e.g. ... financial transactions)";
+    ``EXPERT`` to "labeled as fraud through ... manual analysis";
+    ``NORMAL`` to unflagged items.
+    """
+
+    NORMAL = "normal"
+    EVIDENCED = "fraud_evidenced"
+    EXPERT = "fraud_expert"
+
+    @property
+    def is_fraud(self) -> bool:
+        """True for either fraud label."""
+        return self is not FraudLabel.NORMAL
+
+
+@dataclass(frozen=True)
+class User:
+    """A platform account.
+
+    ``exp_value`` is the platform's user rating score (the paper's
+    ``userExpValue``, minimum 100); ``is_promoter`` marks accounts hired
+    by fraud campaigns (ground truth only -- never visible to CATS).
+    """
+
+    user_id: int
+    nickname: str
+    exp_value: int
+    is_promoter: bool = False
+
+    def anonymized_nickname(self) -> str:
+        """Anonymize the way the platforms do: keep first/last character.
+
+        >>> User(1, "moli", 100).anonymized_nickname()
+        'm***i'
+        """
+        if len(self.nickname) <= 1:
+            return self.nickname + "***"
+        return f"{self.nickname[0]}***{self.nickname[-1]}"
+
+
+@dataclass(frozen=True)
+class Shop:
+    """A third-party shop."""
+
+    shop_id: int
+    name: str
+    url: str
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One comment = one completed order that left feedback.
+
+    Only purchasers can comment on these platforms, so the client field
+    doubles as the order source (the paper's "Order Aspect" uses exactly
+    this reading).  ``is_promotion`` is generator ground truth.
+    """
+
+    comment_id: int
+    item_id: int
+    user_id: int
+    content: str
+    client: Client
+    date: str
+    is_promotion: bool = False
+
+
+@dataclass
+class Item:
+    """An item listing with its comments and ground-truth label.
+
+    ``category`` is the listing category; the paper's Taobao deployment
+    (its Section VI) covers eight named categories.
+    """
+
+    item_id: int
+    shop_id: int
+    name: str
+    price: float
+    sales_volume: int
+    category: str = "misc"
+    label: FraudLabel = FraudLabel.NORMAL
+    comments: list[Comment] = field(default_factory=list)
+
+    @property
+    def is_fraud(self) -> bool:
+        """Ground-truth fraud flag."""
+        return self.label.is_fraud
+
+    @property
+    def comment_texts(self) -> list[str]:
+        """Raw comment strings, the input to the feature extractor."""
+        return [comment.content for comment in self.comments]
+
+
+@dataclass
+class Platform:
+    """A complete simulated platform snapshot."""
+
+    name: str
+    shops: list[Shop]
+    users: dict[int, User]
+    items: list[Item]
+
+    @property
+    def n_comments(self) -> int:
+        """Total number of comments across all items."""
+        return sum(len(item.comments) for item in self.items)
+
+    @property
+    def fraud_items(self) -> list[Item]:
+        """Items with a ground-truth fraud label."""
+        return [item for item in self.items if item.is_fraud]
+
+    @property
+    def normal_items(self) -> list[Item]:
+        """Items without a fraud label."""
+        return [item for item in self.items if not item.is_fraud]
+
+    def item_by_id(self, item_id: int) -> Item:
+        """Look up an item; raises KeyError when absent."""
+        if not hasattr(self, "_item_index"):
+            self._item_index = {item.item_id: item for item in self.items}
+        return self._item_index[item_id]
+
+    def user(self, user_id: int) -> User:
+        """Look up a user; raises KeyError when absent."""
+        return self.users[user_id]
+
+    def summary(self) -> dict[str, int]:
+        """Dataset statistics in the shape of the paper's Tables IV/V."""
+        return {
+            "shops": len(self.shops),
+            "users": len(self.users),
+            "items": len(self.items),
+            "fraud_items": len(self.fraud_items),
+            "normal_items": len(self.normal_items),
+            "comments": self.n_comments,
+        }

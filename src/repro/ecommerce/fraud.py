@@ -1,0 +1,116 @@
+"""Fraud-campaign model.
+
+The paper's measurement study (Section V) reverse-engineers how fraud is
+actually operated: malicious merchants hire cohorts of low-reputation
+users ("risky users") who purchase and positively comment on the
+targeted items, mostly through the web client, often repeatedly, and the
+same hired users show up across many fraud items (83,745 co-purchasing
+pairs collapsing into a set of 1,056 users).
+
+:class:`PromoterPool` models the hire-able population and
+:class:`FraudCampaign` models one merchant's promotion drive: a cohort
+drawn from the pool posts promotional comments on the campaign's items.
+The generator turns campaigns into comment streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecommerce.entities import User
+
+
+class PromoterPool:
+    """The population of hire-able promotion accounts.
+
+    Cohort sampling is deliberately *clumpy*: the pool is organized into
+    overlapping neighbourhoods and a campaign hires a contiguous block,
+    so the same accounts co-occur across campaigns.  That is what creates
+    the paper's co-purchase pair structure (many pairs, few distinct
+    users).
+    """
+
+    def __init__(self, promoters: list[User]) -> None:
+        if not promoters:
+            raise ValueError("promoter pool must not be empty")
+        self._promoters = list(promoters)
+
+    def __len__(self) -> int:
+        return len(self._promoters)
+
+    @property
+    def users(self) -> list[User]:
+        """All promoter accounts."""
+        return list(self._promoters)
+
+    def sample_cohort(
+        self, size: int, rng: np.random.Generator
+    ) -> list[User]:
+        """Hire *size* promoters as one campaign cohort.
+
+        A random anchor is chosen and the cohort is the contiguous block
+        around it (wrapping), plus a little jitter.  Contiguity gives
+        heavy cohort overlap between campaigns with nearby anchors.
+        """
+        if size < 1:
+            raise ValueError(f"cohort size must be >= 1, got {size}")
+        n = len(self._promoters)
+        size = min(size, n)
+        anchor = int(rng.integers(0, n))
+        cohort = [self._promoters[(anchor + i) % n] for i in range(size)]
+        # Jitter: swap ~10% of members for random pool members so cohorts
+        # are not strictly identical blocks.
+        n_swap = max(0, int(round(0.1 * size)))
+        for __ in range(n_swap):
+            victim = int(rng.integers(0, size))
+            cohort[victim] = self._promoters[int(rng.integers(0, n))]
+        return cohort
+
+
+@dataclass(frozen=True)
+class FraudCampaign:
+    """One merchant's promotion drive.
+
+    Attributes
+    ----------
+    campaign_id:
+        Stable identifier (ground truth / debugging).
+    shop_id:
+        The malicious merchant's shop.
+    item_ids:
+        The targeted items (all become fraud items).
+    cohort:
+        The hired promoter accounts.
+    orders_per_promoter_item:
+        Expected promotional orders each cohort member places on each
+        targeted item (>= 1; heavy repeaters emerge from the Poisson
+        tail, matching the paper's "some risky users purchased fraud
+        items 400+ times" observation at full scale).
+    camouflage:
+        In [0, 1): probability that a promotional comment is written in
+        an inconspicuous organic style instead of blatant promo copy.
+        Careful campaigns (high camouflage) are genuinely hard to
+        detect -- they are why the paper's recall is below 1.
+    """
+
+    campaign_id: int
+    shop_id: int
+    item_ids: tuple[int, ...]
+    cohort: tuple[User, ...]
+    orders_per_promoter_item: float
+    camouflage: float = 0.0
+
+    def promotion_orders(
+        self, rng: np.random.Generator
+    ) -> list[tuple[int, User]]:
+        """Expand the campaign into (item_id, promoter) order events."""
+        orders: list[tuple[int, User]] = []
+        for item_id in self.item_ids:
+            for user in self.cohort:
+                n_orders = 1 + int(
+                    rng.poisson(max(0.0, self.orders_per_promoter_item - 1.0))
+                )
+                orders.extend((item_id, user) for __ in range(n_orders))
+        return orders

@@ -1,0 +1,462 @@
+"""Platform generator: profile -> complete synthetic platform.
+
+Assembly order mirrors how the real marketplace comes to be:
+
+1. the user population (general accounts + a hire-able promoter pool,
+   with calibrated ``userExpValue`` distributions);
+2. shops and their item listings;
+3. organic shopping activity -- orders that leave comments drawn from
+   behaviour-style mixtures (a fraction of honest shops have effusive
+   reviewers, the *hard negatives*);
+4. fraud campaigns -- cohorts of hired promoters inject promotional
+   orders/comments into targeted items, which thereby earn their
+   ground-truth fraud label (``EVIDENCED`` or ``EXPERT`` split per the
+   profile's evidence fraction).
+
+Everything is driven by one ``numpy.random.Generator`` so a (profile,
+language, seed) triple is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecommerce.entities import (
+    Client,
+    Comment,
+    FraudLabel,
+    Item,
+    Platform,
+    Shop,
+    User,
+)
+from repro.ecommerce.fraud import FraudCampaign, PromoterPool
+from repro.ecommerce.language import (
+    ENTHUSIAST_MIX,
+    ORGANIC_MIX,
+    ORGANIC_POSITIVE_STYLE,
+    PROMO_STYLE,
+    SyntheticLanguage,
+)
+from repro.ecommerce.profiles import PlatformProfile
+from repro.ml.base import as_rng
+
+#: Platform-wide cap on userExpValue (the paper reports a maximum of
+#: 27,158,720 on E-platform).
+_MAX_EXP_VALUE = 27_158_720
+_MIN_EXP_VALUE = 100
+
+
+def _random_dates(
+    start: str, end: str, size: int, rng: np.random.Generator
+) -> list[str]:
+    """Render *size* timestamps uniformly between two ISO dates."""
+    from datetime import datetime, timedelta
+
+    t0 = datetime.fromisoformat(start)
+    t1 = datetime.fromisoformat(end)
+    span = max(1, int((t1 - t0).total_seconds()))
+    offsets = rng.integers(0, span, size=size)
+    return [
+        (t0 + timedelta(seconds=int(o))).strftime("%Y-%m-%d %H:%M:%S")
+        for o in offsets
+    ]
+
+
+def _burst_dates(
+    start: str,
+    end: str,
+    size: int,
+    rng: np.random.Generator,
+    burst_days: int,
+) -> list[str]:
+    """Timestamps concentrated in one short window inside [start, end].
+
+    Promotion campaigns run for days, not months; the burst window is
+    placed uniformly inside the platform's date range.
+    """
+    from datetime import datetime, timedelta
+
+    t0 = datetime.fromisoformat(start)
+    t1 = datetime.fromisoformat(end)
+    span = max(1, int((t1 - t0).total_seconds()))
+    burst_span = min(span, burst_days * 86_400)
+    burst_start = int(rng.integers(0, max(1, span - burst_span)))
+    offsets = burst_start + rng.integers(0, burst_span, size=size)
+    return [
+        (t0 + timedelta(seconds=int(o))).strftime("%Y-%m-%d %H:%M:%S")
+        for o in offsets
+    ]
+
+
+def _draw_clients(
+    mix: dict[Client, float], size: int, rng: np.random.Generator
+) -> list[Client]:
+    clients = list(mix.keys())
+    probs = np.array([mix[c] for c in clients], dtype=np.float64)
+    probs /= probs.sum()
+    draws = rng.choice(len(clients), size=size, p=probs)
+    return [clients[i] for i in draws]
+
+
+class PlatformGenerator:
+    """Generates a :class:`~repro.ecommerce.entities.Platform`.
+
+    Parameters
+    ----------
+    profile:
+        Platform parameter set (usually a scaled copy; see
+        :meth:`PlatformProfile.scaled`).
+    language:
+        Shared :class:`SyntheticLanguage`; a default-seeded one is
+        created when omitted.  Use the *same* instance for platforms
+        that should be cross-platform compatible.
+    seed:
+        Generation seed.
+    enthusiast_shop_rate:
+        Fraction of honest shops whose buyers write effusive reviews
+        (hard negatives).
+    id_offset:
+        Added to all entity ids so two platforms never share ids.
+    """
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        language: SyntheticLanguage | None = None,
+        seed: int | np.random.Generator | None = 0,
+        enthusiast_shop_rate: float = 0.06,
+        id_offset: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.language = language if language is not None else SyntheticLanguage()
+        self._seed = seed
+        self.enthusiast_shop_rate = enthusiast_shop_rate
+        self.id_offset = id_offset
+
+    # -- population -----------------------------------------------------
+
+    def _generate_users(
+        self, rng: np.random.Generator
+    ) -> tuple[dict[int, User], PromoterPool]:
+        profile = self.profile
+        n = profile.n_users
+        n_promoters = max(4, int(round(profile.promoter_fraction * n)))
+
+        # General population expvalues: lognormal, floored and capped.
+        general = np.exp(
+            rng.normal(
+                profile.expvalue_log_median, profile.expvalue_log_sigma,
+                size=n - n_promoters,
+            )
+        )
+        general = np.clip(general, _MIN_EXP_VALUE, _MAX_EXP_VALUE)
+
+        # Promoter expvalues: a spike at the floor plus a low body.
+        promoter_vals = np.exp(
+            rng.normal(
+                profile.promoter_log_median, profile.promoter_log_sigma,
+                size=n_promoters,
+            )
+        )
+        promoter_vals = np.clip(promoter_vals, _MIN_EXP_VALUE, _MAX_EXP_VALUE)
+        floor_mask = rng.random(n_promoters) < profile.promoter_floor_fraction
+        promoter_vals[floor_mask] = _MIN_EXP_VALUE
+
+        users: dict[int, User] = {}
+        uid = self.id_offset + 1
+        for value in general:
+            users[uid] = User(
+                user_id=uid,
+                nickname=self.language.generate_nickname(rng),
+                exp_value=int(value),
+                is_promoter=False,
+            )
+            uid += 1
+        promoters: list[User] = []
+        for value in promoter_vals:
+            user = User(
+                user_id=uid,
+                nickname=self.language.generate_nickname(rng),
+                exp_value=int(value),
+                is_promoter=True,
+            )
+            users[uid] = user
+            promoters.append(user)
+            uid += 1
+        return users, PromoterPool(promoters)
+
+    # -- listings ---------------------------------------------------------
+
+    def _generate_shops(self, rng: np.random.Generator) -> list[Shop]:
+        shops = []
+        for i in range(self.profile.n_shops):
+            shop_id = self.id_offset + i + 1
+            shops.append(
+                Shop(
+                    shop_id=shop_id,
+                    name=self.language.generate_shop_name(rng),
+                    url=f"https://{self.profile.name}.example/shop/{shop_id}",
+                )
+            )
+        return shops
+
+    def _generate_items(
+        self, shops: list[Shop], rng: np.random.Generator
+    ) -> list[Item]:
+        profile = self.profile
+        shop_ids = np.array([s.shop_id for s in shops])
+        # Shops specialize: each sells one category (Section VI's eight
+        # Taobao categories by default).
+        shop_categories = [
+            profile.categories[int(rng.integers(0, len(profile.categories)))]
+            for __ in shops
+        ]
+        self._category_of_shop = dict(zip(shop_ids.tolist(), shop_categories))
+        assignments = rng.integers(0, len(shops), size=profile.n_items)
+        prices = np.round(np.exp(rng.normal(3.6, 0.9, size=profile.n_items)), 2)
+        items = []
+        for i in range(profile.n_items):
+            shop_id = int(shop_ids[assignments[i]])
+            items.append(
+                Item(
+                    item_id=self.id_offset + 100_000_000 + i,
+                    shop_id=shop_id,
+                    name=self.language.generate_item_name(rng),
+                    price=float(max(1.0, prices[i])),
+                    sales_volume=0,
+                    category=self._category_of_shop[shop_id],
+                )
+            )
+        return items
+
+    def _topic_of(self, item: Item) -> int:
+        """The language topic aligned with an item's category."""
+        return self.profile.categories.index(item.category)
+
+    # -- activity -----------------------------------------------------------
+
+    def _organic_activity(
+        self,
+        items: list[Item],
+        users: dict[int, User],
+        rng: np.random.Generator,
+        comment_id_start: int,
+    ) -> int:
+        """Generate organic orders/comments for every item.
+
+        Returns the next free comment id.
+        """
+        profile = self.profile
+        user_ids = np.fromiter(users.keys(), dtype=np.int64)
+        enthusiast_shops = {
+            shop_id
+            for shop_id in {item.shop_id for item in items}
+            if rng.random() < self.enthusiast_shop_rate
+        }
+        comment_id = comment_id_start
+
+        volumes = np.exp(
+            rng.normal(
+                profile.organic_comments_log_mean,
+                profile.organic_comments_log_sigma,
+                size=len(items),
+            )
+        ).astype(np.int64)
+        dead = rng.random(len(items)) < profile.dead_item_rate
+
+        for idx, item in enumerate(items):
+            if dead[idx]:
+                n_comments = int(rng.integers(0, 3))
+                item.sales_volume = int(rng.integers(0, 5))
+            else:
+                n_comments = max(1, int(volumes[idx]))
+                item.sales_volume = max(
+                    n_comments,
+                    int(round(n_comments * profile.sales_per_comment))
+                    + int(rng.integers(0, 3)),
+                )
+            if n_comments == 0:
+                continue
+            mix = (
+                ENTHUSIAST_MIX
+                if item.shop_id in enthusiast_shops
+                else ORGANIC_MIX
+            )
+            buyer_ids = rng.choice(user_ids, size=n_comments)
+            clients = _draw_clients(profile.organic_client_mix, n_comments, rng)
+            dates = _random_dates(
+                profile.date_start, profile.date_end, n_comments, rng
+            )
+            topic = self._topic_of(item)
+            for j in range(n_comments):
+                style = mix.draw(rng)
+                content, __ = self.language.generate_comment(
+                    style, rng, topic=topic
+                )
+                item.comments.append(
+                    Comment(
+                        comment_id=comment_id,
+                        item_id=item.item_id,
+                        user_id=int(buyer_ids[j]),
+                        content=content,
+                        client=clients[j],
+                        date=dates[j],
+                        is_promotion=False,
+                    )
+                )
+                comment_id += 1
+        return comment_id
+
+    def _build_campaigns(
+        self,
+        items: list[Item],
+        pool: PromoterPool,
+        rng: np.random.Generator,
+    ) -> list[FraudCampaign]:
+        profile = self.profile
+        n_fraud = int(round(profile.fraud_item_rate * len(items)))
+        if n_fraud == 0:
+            return []
+        fraud_indices = rng.choice(len(items), size=n_fraud, replace=False)
+        campaigns: list[FraudCampaign] = []
+        cursor = 0
+        campaign_id = 1
+        fraud_items = [items[i] for i in fraud_indices]
+        while cursor < len(fraud_items):
+            size = max(
+                1, int(rng.poisson(profile.campaign_items_mean - 1)) + 1
+            )
+            targeted = fraud_items[cursor : cursor + size]
+            cursor += size
+            cohort_size = max(
+                3, int(rng.poisson(profile.cohort_size_mean - 1)) + 1
+            )
+            cohort = tuple(pool.sample_cohort(cohort_size, rng))
+            campaigns.append(
+                FraudCampaign(
+                    campaign_id=campaign_id,
+                    shop_id=targeted[0].shop_id,
+                    item_ids=tuple(item.item_id for item in targeted),
+                    cohort=cohort,
+                    orders_per_promoter_item=profile.promo_orders_per_promoter,
+                    # Most campaigns are blatant; a minority operate in
+                    # near-stealth and are genuinely hard to catch.
+                    camouflage=(
+                        float(rng.uniform(0.8, 0.97))
+                        if rng.random() < 0.12
+                        else float(rng.beta(1.2, 4.0))
+                    ),
+                )
+            )
+            campaign_id += 1
+        return campaigns
+
+    def _promotion_activity(
+        self,
+        campaigns: list[FraudCampaign],
+        items: list[Item],
+        rng: np.random.Generator,
+        comment_id_start: int,
+    ) -> int:
+        """Inject promotional orders/comments; label targeted items."""
+        profile = self.profile
+        by_id = {item.item_id: item for item in items}
+        comment_id = comment_id_start
+        for campaign in campaigns:
+            orders = campaign.promotion_orders(rng)
+            # Scale order volume to the profile's promo intensity: the
+            # cohort produces a lognormal number of promo comments per
+            # item; surplus orders beyond it still count as sales.
+            per_item: dict[int, list[User]] = {}
+            for item_id, user in orders:
+                per_item.setdefault(item_id, []).append(user)
+            for item_id, buyers in per_item.items():
+                item = by_id[item_id]
+                target_comments = max(
+                    2,
+                    int(
+                        np.exp(
+                            rng.normal(
+                                profile.promo_comments_log_mean,
+                                profile.promo_comments_log_sigma,
+                            )
+                        )
+                        # Careful campaigns inject far fewer promotional
+                        # orders (volume stealth), which is what makes
+                        # them hard to detect.
+                        * (1.0 - 0.8 * campaign.camouflage)
+                    ),
+                )
+                # Repeat cohort buyers as needed to hit the target volume
+                # (promoters purchase the same item many times).
+                while len(buyers) < target_comments:
+                    buyers = buyers + [
+                        buyers[int(rng.integers(0, len(buyers)))]
+                    ]
+                buyers = buyers[:target_comments]
+                clients = _draw_clients(
+                    profile.promo_client_mix, len(buyers), rng
+                )
+                # Promotion orders are *bursty*: a campaign runs for
+                # days, unlike organic orders spread over months.
+                dates = _burst_dates(
+                    profile.date_start,
+                    profile.date_end,
+                    len(buyers),
+                    rng,
+                    burst_days=int(rng.integers(3, 15)),
+                )
+                for j, user in enumerate(buyers):
+                    # A minority of a careful campaign's comments are
+                    # written in an inconspicuous organic style.
+                    style = (
+                        ORGANIC_POSITIVE_STYLE
+                        if rng.random() < 0.4 * campaign.camouflage
+                        else PROMO_STYLE
+                    )
+                    content, __ = self.language.generate_comment(
+                        style, rng, topic=self._topic_of(item)
+                    )
+                    item.comments.append(
+                        Comment(
+                            comment_id=comment_id,
+                            item_id=item.item_id,
+                            user_id=user.user_id,
+                            content=content,
+                            client=clients[j],
+                            date=dates[j],
+                            is_promotion=True,
+                        )
+                    )
+                    comment_id += 1
+                item.sales_volume += int(
+                    round(len(buyers) * profile.sales_per_comment)
+                )
+                if item.label is FraudLabel.NORMAL:
+                    item.label = (
+                        FraudLabel.EVIDENCED
+                        if rng.random() < profile.evidence_fraction
+                        else FraudLabel.EXPERT
+                    )
+        return comment_id
+
+    # -- entry point -----------------------------------------------------------
+
+    def generate(self) -> Platform:
+        """Build the full platform snapshot."""
+        rng = as_rng(self._seed)
+        users, pool = self._generate_users(rng)
+        shops = self._generate_shops(rng)
+        items = self._generate_items(shops, rng)
+        next_comment_id = self._organic_activity(
+            items, users, rng, comment_id_start=self.id_offset + 1
+        )
+        campaigns = self._build_campaigns(items, pool, rng)
+        self._promotion_activity(campaigns, items, rng, next_comment_id)
+        platform = Platform(
+            name=self.profile.name, shops=shops, users=users, items=items
+        )
+        # Expose campaigns for ground-truth analyses (not used by CATS).
+        platform.campaigns = campaigns  # type: ignore[attr-defined]
+        return platform

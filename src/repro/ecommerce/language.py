@@ -1,0 +1,551 @@
+"""The synthetic comment language.
+
+Real CATS runs on Chinese comments.  Offline we cannot ship a Chinese
+corpus, so the simulator speaks a *constructed* language that preserves
+every property the paper's features measure:
+
+* comments are rendered with **no whitespace** between words (like
+  Chinese), so the text layer must genuinely segment them;
+* the lexicon is partitioned into positive / negative / neutral /
+  function words with Zipfian within-category frequencies;
+* a handful of *named* positive and negative seed words exist (e.g.
+  ``haoping`` "good reputation", ``chaping`` "bad reputation") so the
+  Table I lexicon-expansion experiment reads like the paper;
+* high-frequency sentiment words carry **typo variants** (one mutated
+  character) that occur in the same contexts at lower rates --
+  reproducing the paper's finding that word2vec surfaces homograph
+  variants human labelers miss;
+* comment *styles* reproduce the behavioural contrasts of Figs 1-5:
+  promotional comments are long, positive-saturated, punctuation-heavy
+  and repetitive; organic comments are short and mixed.
+
+The language is shared between simulated platforms (both real platforms
+speak Chinese), which is what makes cross-platform transfer meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import as_rng
+
+_CONSONANTS = "bcdfghjklmnpqrstwxyz"
+_VOWELS = "aeiou"
+
+#: Named positive seeds (romanized from the paper's Table I examples).
+POSITIVE_SEED_WORDS = (
+    "haoping",   # good reputation
+    "zan",       # like
+    "huasuan",   # cost-effective
+    "zhide",     # deserve / worth it
+    "piaoliang", # beautiful
+    "heshi",     # suitable
+    "jingzhi",   # delicate
+    "henhao",    # very good
+    "shufu",     # comfortable
+    "manyi",     # satisfied
+)
+
+#: Named negative seeds.
+NEGATIVE_SEED_WORDS = (
+    "chaping",   # bad reputation
+    "zaogao",    # terrible
+    "eyi",       # malevolence
+    "zuilan",    # the worst
+    "tuihuo",    # sales return
+    "weixie",    # threat
+    "kehen",     # hateful
+    "meiyong",   # useless
+    "buhao",     # not good
+    "yixing",    # one star
+)
+
+
+@dataclass(frozen=True)
+class CommentStyle:
+    """Generative parameters of one behavioural comment style.
+
+    A comment is a sequence of *phrases*; each phrase is a run of words
+    followed by a punctuation mark.  Every phrase carries a **mode**
+    drawn from ``(p_praise, p_complaint, rest=description)``:
+
+    * *praise* phrases are dominated by positive words,
+    * *complaint* phrases by negative words,
+    * *description* phrases by topical neutral words.
+
+    Phrase-mode coherence is what gives the language real distributional
+    structure -- positive words co-occur with each other inside praise
+    phrases -- which is what word2vec needs to cluster the sentiment
+    lexicon (and what real review text has).
+
+    With probability ``p_duplicate`` a word repeats an earlier word of
+    the same comment (promotional copy repeats its selling points).
+    """
+
+    name: str
+    mean_phrases: float
+    mean_phrase_words: float
+    p_praise: float
+    p_complaint: float
+    p_duplicate: float
+
+    def __post_init__(self) -> None:
+        if self.p_praise + self.p_complaint > 1.0:
+            raise ValueError(
+                f"mode probabilities of style {self.name!r} exceed 1"
+            )
+        if self.mean_phrases < 1 or self.mean_phrase_words < 1:
+            raise ValueError(
+                f"style {self.name!r} needs >= 1 phrase of >= 1 word"
+            )
+
+
+#: Word-category mix inside each phrase mode, as cumulative cuts over
+#: (positive, negative, function, neutral).
+_MODE_MIX = {
+    # mode: (p_positive, p_negative, p_function); rest = neutral
+    "praise": (0.50, 0.00, 0.26),
+    "complaint": (0.00, 0.50, 0.26),
+    "description": (0.02, 0.015, 0.30),
+}
+
+#: Promotional comments injected by fraud campaigns: long, positive-
+#: saturated, punctuation-heavy, repetitive (paper Listing 1, Figs 2-5).
+PROMO_STYLE = CommentStyle(
+    name="promo",
+    mean_phrases=7.5,
+    mean_phrase_words=5.0,
+    p_praise=0.70,
+    p_complaint=0.0,
+    p_duplicate=0.22,
+)
+
+#: Organic feedback from a satisfied buyer: short, mildly positive.
+ORGANIC_POSITIVE_STYLE = CommentStyle(
+    name="organic_positive",
+    mean_phrases=2.0,
+    mean_phrase_words=4.0,
+    p_praise=0.40,
+    p_complaint=0.02,
+    p_duplicate=0.03,
+)
+
+#: Organic neutral feedback: mostly content words.
+ORGANIC_NEUTRAL_STYLE = CommentStyle(
+    name="organic_neutral",
+    mean_phrases=2.0,
+    mean_phrase_words=4.5,
+    p_praise=0.13,
+    p_complaint=0.09,
+    p_duplicate=0.03,
+)
+
+#: A genuine but effusive reviewer: long positive organic feedback.
+#: These are the *hard negatives* of fraud detection -- normal items
+#: whose comments superficially resemble promotion copy -- and keep the
+#: classification problem realistically imperfect.
+ENTHUSIAST_STYLE = CommentStyle(
+    name="enthusiast",
+    mean_phrases=4.0,
+    mean_phrase_words=4.5,
+    p_praise=0.42,
+    p_complaint=0.02,
+    p_duplicate=0.05,
+)
+
+#: Organic complaint: negative-leaning.
+ORGANIC_NEGATIVE_STYLE = CommentStyle(
+    name="organic_negative",
+    mean_phrases=2.5,
+    mean_phrase_words=4.5,
+    p_praise=0.05,
+    p_complaint=0.45,
+    p_duplicate=0.04,
+)
+
+_PHRASE_PUNCT = ",，、;"
+_FINAL_PUNCT = ".!。！"
+
+
+class SyntheticLanguage:
+    """Lexicon plus comment generators for the simulated platforms.
+
+    Parameters
+    ----------
+    n_positive / n_negative:
+        Base sentiment-word counts (before typo variants).
+    n_neutral / n_function:
+        Content-word and function-word counts.
+    n_variant_sources:
+        How many of the most frequent positive and negative words get
+        typo variants injected.
+    seed:
+        Deterministic lexicon construction seed.
+    """
+
+    def __init__(
+        self,
+        n_positive: int = 130,
+        n_negative: int = 130,
+        n_neutral: int = 520,
+        n_function: int = 70,
+        n_variant_sources: int = 18,
+        n_topics: int = 12,
+        seed: int | np.random.Generator | None = 42,
+    ) -> None:
+        if n_topics < 1:
+            raise ValueError(f"n_topics must be >= 1, got {n_topics}")
+        rng = as_rng(seed)
+        self._taken: set[str] = set()
+        self.n_topics = n_topics
+
+        self.positive_seeds = list(POSITIVE_SEED_WORDS)
+        self.negative_seeds = list(NEGATIVE_SEED_WORDS)
+        self._taken.update(self.positive_seeds)
+        self._taken.update(self.negative_seeds)
+
+        self.positive_words = self.positive_seeds + self._make_words(
+            n_positive - len(self.positive_seeds), rng
+        )
+        self.negative_words = self.negative_seeds + self._make_words(
+            n_negative - len(self.negative_seeds), rng
+        )
+        self.neutral_words = self._make_words(n_neutral, rng)
+        self.function_words = self._make_words(n_function, rng, max_syll=2)
+
+        # Typo variants of the most frequent sentiment words.  A variant
+        # occurs in the same contexts as its source word, at ~1/8 of the
+        # source frequency, implemented by aliasing draws of the source.
+        self.variant_map: dict[str, str] = {}
+        self._variant_of: dict[str, list[str]] = {}
+        for source in (
+            self.positive_words[:n_variant_sources]
+            + self.negative_words[:n_variant_sources]
+        ):
+            variant = self._mutate_word(source, rng)
+            self.variant_map[variant] = source
+            self._variant_of.setdefault(source, []).append(variant)
+
+        self.positive_set = frozenset(self.positive_words) | {
+            v for v, s in self.variant_map.items() if s in set(self.positive_words)
+        }
+        self.negative_set = frozenset(self.negative_words) | {
+            v for v, s in self.variant_map.items() if s in set(self.negative_words)
+        }
+
+        # Per-category Zipf sampling tables (word list + cumulative
+        # probabilities, so a word draw is one searchsorted on a uniform).
+        self._tables = {
+            "positive": self._zipf_table(self.positive_words),
+            "negative": self._zipf_table(self.negative_words),
+            "neutral": self._zipf_table(self.neutral_words),
+            "function": self._zipf_table(self.function_words),
+        }
+        self._cumulative = {
+            name: np.cumsum(probs) for name, (__, probs) in self._tables.items()
+        }
+
+        # Topic structure over neutral words: 60% of neutral words are
+        # owned by one of ``n_topics`` topics (dealt round-robin so each
+        # topic spans the Zipf spectrum); the rest are shared.  A comment
+        # talks about one topic, drawing topical neutrals preferentially.
+        n_owned = int(0.6 * len(self.neutral_words))
+        owned = self.neutral_words[:n_owned]
+        self._shared_neutral = self._zipf_table(self.neutral_words[n_owned:])
+        self._shared_cum = np.cumsum(self._shared_neutral[1])
+        self._topic_tables: list[tuple[list[str], np.ndarray]] = []
+        self._topic_cums: list[np.ndarray] = []
+        for t in range(n_topics):
+            topic_words = owned[t::n_topics]
+            words, probs = self._zipf_table(topic_words)
+            self._topic_tables.append((words, probs))
+            self._topic_cums.append(np.cumsum(probs))
+        #: Probability that a neutral draw comes from the comment's topic
+        #: rather than the shared pool.
+        self.topic_affinity = 0.7
+        #: Probability that a drawn word is replaced by one of its typo
+        #: variants.
+        self.variant_rate = 0.11
+
+    # -- word factory ------------------------------------------------------
+
+    def _make_words(
+        self, count: int, rng: np.random.Generator, max_syll: int = 4
+    ) -> list[str]:
+        """Generate *count* distinct pronounceable words."""
+        if count < 0:
+            raise ValueError(f"cannot make {count} words")
+        words: list[str] = []
+        while len(words) < count:
+            n_syllables = int(rng.integers(1, max_syll + 1))
+            syllables = []
+            for __ in range(n_syllables):
+                c = _CONSONANTS[rng.integers(0, len(_CONSONANTS))]
+                v = _VOWELS[rng.integers(0, len(_VOWELS))]
+                if rng.random() < 0.25:
+                    c2 = _CONSONANTS[rng.integers(0, len(_CONSONANTS))]
+                    syllables.append(c + v + c2)
+                else:
+                    syllables.append(c + v)
+            word = "".join(syllables)
+            if len(word) >= 2 and word not in self._taken:
+                self._taken.add(word)
+                words.append(word)
+        return words
+
+    def _mutate_word(self, source: str, rng: np.random.Generator) -> str:
+        """Return a distinct one-character mutation of *source*."""
+        for __ in range(100):
+            pos = int(rng.integers(0, len(source)))
+            pool = _VOWELS if source[pos] in _VOWELS else _CONSONANTS
+            replacement = pool[rng.integers(0, len(pool))]
+            variant = source[:pos] + replacement + source[pos + 1 :]
+            if variant != source and variant not in self._taken:
+                self._taken.add(variant)
+                return variant
+        raise RuntimeError(f"could not mutate word {source!r}")
+
+    @staticmethod
+    def _zipf_table(words: list[str]) -> tuple[list[str], np.ndarray]:
+        ranks = np.arange(1, len(words) + 1, dtype=np.float64)
+        weights = 1.0 / ranks
+        return words, weights / weights.sum()
+
+    # -- lexicon views ------------------------------------------------------
+
+    def all_words(self) -> list[str]:
+        """Every word of the language, variants included."""
+        return (
+            self.positive_words
+            + self.negative_words
+            + self.neutral_words
+            + self.function_words
+            + list(self.variant_map)
+        )
+
+    def dictionary_weights(self) -> dict[str, int]:
+        """Approximate corpus frequencies for seeding a segmenter.
+
+        Weights follow the Zipf tables scaled to integer pseudo-counts,
+        with variants at a fraction of their source's weight.
+        """
+        weights: dict[str, int] = {}
+        for words, probs in self._tables.values():
+            for word, p in zip(words, probs):
+                weights[word] = max(1, int(round(p * 10_000)))
+        for variant, source in self.variant_map.items():
+            weights[variant] = max(1, weights.get(source, 8) // 8)
+        return weights
+
+    # -- comment generation --------------------------------------------------
+
+    def _draw_word(self, category: str, rng: np.random.Generator) -> str:
+        """Draw one word of *category* (convenience path, tests/naming)."""
+        words, __ = self._tables[category]
+        cum = self._cumulative[category]
+        word = words[int(np.searchsorted(cum, rng.random()))]
+        variants = self._variant_of.get(word)
+        if variants and rng.random() < self.variant_rate:
+            return variants[int(rng.integers(0, len(variants)))]
+        return word
+
+    def generate_comment(
+        self,
+        style: CommentStyle,
+        rng: np.random.Generator,
+        topic: int | None = None,
+    ) -> tuple[str, list[str]]:
+        """Generate one comment in *style*.
+
+        Returns ``(raw_text, true_words)``: the unsegmented rendered
+        string (what a crawler sees) and the ground-truth word sequence
+        (used only for calibration tests -- CATS itself re-segments the
+        raw text).
+
+        ``topic`` pins the comment's neutral-word topic (used to align
+        comments with their item's category); None draws one at random.
+
+        All random draws are made up front in numpy batches; the per-word
+        loop only indexes into them, which keeps bulk generation fast
+        enough for platform-sized corpora.
+        """
+        n_phrases = max(1, int(rng.poisson(style.mean_phrases - 1) + 1))
+        phrase_lens = [
+            max(1, int(k) + 1)
+            for k in rng.poisson(style.mean_phrase_words - 1, size=n_phrases)
+        ]
+        total = sum(phrase_lens)
+        mode_rolls = rng.random(n_phrases)
+        dup_rolls = rng.random(total)
+        category_rolls = rng.random(total)
+        word_rolls = rng.random(total)
+        variant_rolls = rng.random(total)
+        dup_picks = rng.random(total)
+        topic_rolls = rng.random(total)
+        if topic is None:
+            topic = int(rng.integers(0, self.n_topics))
+        else:
+            topic = topic % self.n_topics
+        topic_words, __ = self._topic_tables[topic]
+        topic_cum = self._topic_cums[topic]
+        shared_words, __ = self._shared_neutral
+        shared_cum = self._shared_cum
+
+        words: list[str] = []
+        pieces: list[str] = []
+        cursor = 0
+        for phrase_idx, n_words in enumerate(phrase_lens):
+            roll = mode_rolls[phrase_idx]
+            if roll < style.p_praise:
+                mode = "praise"
+            elif roll < style.p_praise + style.p_complaint:
+                mode = "complaint"
+            else:
+                mode = "description"
+            p_pos, p_neg, p_fun = _MODE_MIX[mode]
+            cut_pos = p_pos
+            cut_neg = cut_pos + p_neg
+            cut_fun = cut_neg + p_fun
+            phrase: list[str] = []
+            for __i in range(n_words):
+                if words and dup_rolls[cursor] < style.p_duplicate:
+                    word = words[int(dup_picks[cursor] * len(words))]
+                else:
+                    roll = category_rolls[cursor]
+                    if roll < cut_pos:
+                        category = "positive"
+                    elif roll < cut_neg:
+                        category = "negative"
+                    elif roll < cut_fun:
+                        category = "function"
+                    else:
+                        category = "neutral"
+                    if category == "neutral":
+                        if topic_rolls[cursor] < self.topic_affinity:
+                            word = topic_words[
+                                int(np.searchsorted(topic_cum, word_rolls[cursor]))
+                            ]
+                        else:
+                            word = shared_words[
+                                int(
+                                    np.searchsorted(
+                                        shared_cum, word_rolls[cursor]
+                                    )
+                                )
+                            ]
+                    else:
+                        table_words, __probs = self._tables[category]
+                        cum = self._cumulative[category]
+                        word = table_words[
+                            int(np.searchsorted(cum, word_rolls[cursor]))
+                        ]
+                        variants = self._variant_of.get(word)
+                        if (
+                            variants
+                            and variant_rolls[cursor] < self.variant_rate
+                        ):
+                            word = variants[
+                                int(dup_picks[cursor] * len(variants))
+                            ]
+                phrase.append(word)
+                words.append(word)
+                cursor += 1
+            pieces.append("".join(phrase))
+            if phrase_idx < n_phrases - 1:
+                pieces.append(
+                    _PHRASE_PUNCT[int(rng.integers(0, len(_PHRASE_PUNCT)))]
+                )
+        pieces.append(_FINAL_PUNCT[int(rng.integers(0, len(_FINAL_PUNCT)))])
+        return "".join(pieces), words
+
+    # -- naming --------------------------------------------------------------
+
+    def generate_item_name(self, rng: np.random.Generator) -> str:
+        """A plausible two/three-word item title."""
+        n = int(rng.integers(2, 4))
+        return " ".join(
+            self._draw_word("neutral", rng) for __ in range(n)
+        )
+
+    def generate_shop_name(self, rng: np.random.Generator) -> str:
+        """A shop name."""
+        return self._draw_word("neutral", rng) + " store"
+
+    def generate_nickname(self, rng: np.random.Generator) -> str:
+        """A user nickname (pre-anonymization)."""
+        base = self._draw_word("neutral", rng)
+        if rng.random() < 0.3:
+            base = str(rng.integers(0, 10)) + base
+        return base
+
+    # -- sentiment training corpus --------------------------------------------
+
+    def sentiment_corpus(
+        self, n_documents: int, rng: np.random.Generator
+    ) -> tuple[list[list[str]], list[int]]:
+        """Labeled corpus for training the sentiment model.
+
+        This simulates SnowNLP's pre-trained shopping-review model: half
+        the documents are positive reviews, half negative complaints,
+        labeled by construction.
+        """
+        if n_documents < 2:
+            raise ValueError("need at least 2 documents (one per class)")
+        documents: list[list[str]] = []
+        labels: list[int] = []
+        for i in range(n_documents):
+            positive = i % 2 == 0
+            style = (
+                ORGANIC_POSITIVE_STYLE if positive else ORGANIC_NEGATIVE_STYLE
+            )
+            __, words = self.generate_comment(style, rng)
+            documents.append(words)
+            labels.append(1 if positive else 0)
+        return documents, labels
+
+
+@dataclass(frozen=True)
+class StyleMix:
+    """A mixture over comment styles, used by behaviour models."""
+
+    styles: tuple[CommentStyle, ...]
+    weights: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.weights and len(self.weights) != len(self.styles):
+            raise ValueError("weights must match styles")
+
+    def draw(self, rng: np.random.Generator) -> CommentStyle:
+        """Sample one style from the mixture."""
+        if not self.weights:
+            return self.styles[int(rng.integers(0, len(self.styles)))]
+        probs = np.asarray(self.weights, dtype=np.float64)
+        probs = probs / probs.sum()
+        return self.styles[int(rng.choice(len(self.styles), p=probs))]
+
+
+#: What organic buyers of a *normal* item post: mostly positive or
+#: neutral feedback with a negative tail (real review distributions skew
+#: positive).
+ORGANIC_MIX = StyleMix(
+    styles=(
+        ORGANIC_POSITIVE_STYLE,
+        ORGANIC_NEUTRAL_STYLE,
+        ORGANIC_NEGATIVE_STYLE,
+    ),
+    weights=(0.45, 0.40, 0.15),
+)
+
+#: What buyers of an item sold by an effusive-but-honest shop post:
+#: enthusiast-heavy, few complaints.
+ENTHUSIAST_MIX = StyleMix(
+    styles=(
+        ENTHUSIAST_STYLE,
+        ORGANIC_POSITIVE_STYLE,
+        ORGANIC_NEUTRAL_STYLE,
+        ORGANIC_NEGATIVE_STYLE,
+    ),
+    weights=(0.26, 0.42, 0.25, 0.07),
+)

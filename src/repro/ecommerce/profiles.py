@@ -1,0 +1,206 @@
+"""Per-platform generator parameter sets.
+
+Two profiles mirror the paper's two test beds:
+
+* :func:`taobao_profile` -- the platform whose labeled data trains CATS
+  (datasets D0/D1 are drawn from it);
+* :func:`eplatform_profile` -- the second, crawled platform ("a
+  large-scale B2C retailer"), with a *different* user population, comment
+  volume and client mix but the same language, which is what makes the
+  cross-platform experiment meaningful.
+
+All counts are expressed at ``scale=1.0``; dataset builders multiply by a
+scale factor so paper-sized experiments (millions of items) shrink to
+laptop size while preserving every ratio DESIGN.md section 5 calibrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecommerce.entities import Client
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Everything the generator needs to synthesize one platform.
+
+    Counts (items/shops/users) are per ``scale=1.0``; distributions are
+    scale-free.
+    """
+
+    name: str
+    n_shops: int
+    n_items: int
+    n_users: int
+
+    #: Fraction of items targeted by fraud campaigns.  D1 implies
+    #: 18,682 / 1,480,134 ~= 1.26%.
+    fraud_item_rate: float
+    #: Fraction of fraud items backed by transaction evidence
+    #: (16,782 / 18,682 ~= 0.9 in D1).
+    evidence_fraction: float
+
+    #: Lognormal(mean, sigma) of organic comments per item (before the
+    #: popularity cut); D1 averages ~49 comments/item, we keep a smaller
+    #: but right-skewed volume.
+    organic_comments_log_mean: float
+    organic_comments_log_sigma: float
+    #: Fraction of items with nearly no sales (exercises the sales<5
+    #: detector filter rule).
+    dead_item_rate: float
+
+    #: Promotion intensity: lognormal of promo comments injected per
+    #: fraud item per campaign.
+    promo_comments_log_mean: float
+    promo_comments_log_sigma: float
+
+    #: Orders that never leave a comment inflate sales volume above the
+    #: comment count by roughly this factor.
+    sales_per_comment: float
+
+    #: userExpValue distribution of the general population: lognormal
+    #: with this median/sigma, floored at the platform minimum 100.
+    #: Calibrated so ~20% of users sit below 2,000 (paper Section V).
+    expvalue_log_median: float
+    expvalue_log_sigma: float
+    #: Fraction of the population available for hire as promoters.
+    promoter_fraction: float
+    #: Promoter expvalue: a spike at exactly 100 (brand-new throwaway
+    #: accounts) plus a low lognormal body.
+    promoter_floor_fraction: float
+    promoter_log_median: float
+    promoter_log_sigma: float
+
+    #: Client mix of organic orders and of promotion orders.  The paper's
+    #: Fig. 12: normal orders are Android-dominant, fraud orders
+    #: web-dominant.
+    organic_client_mix: dict[Client, float] = field(
+        default_factory=lambda: {
+            Client.ANDROID: 0.44,
+            Client.IPHONE: 0.30,
+            Client.WEB: 0.14,
+            Client.WECHAT: 0.12,
+        }
+    )
+    promo_client_mix: dict[Client, float] = field(
+        default_factory=lambda: {
+            Client.WEB: 0.62,
+            Client.ANDROID: 0.16,
+            Client.IPHONE: 0.10,
+            Client.WECHAT: 0.12,
+        }
+    )
+
+    #: Campaign shape: items per campaign and cohort size (promoters
+    #: hired per campaign).
+    campaign_items_mean: float = 3.0
+    cohort_size_mean: float = 14.0
+    #: Repeat purchases: expected promo orders per promoter per item.
+    promo_orders_per_promoter: float = 1.35
+
+    #: Item categories; shops specialize in one.  Defaults to the eight
+    #: categories the paper's Taobao deployment covers (Section VI).
+    categories: tuple[str, ...] = (
+        "men's clothing",
+        "women's clothing",
+        "men's shoes",
+        "women's shoes",
+        "computer & office",
+        "phone & accessories",
+        "food & grocery",
+        "sports & outdoors",
+    )
+
+    #: Comment date window (inclusive year-month bounds), rendered into
+    #: the comment records.
+    date_start: str = "2017-08-01"
+    date_end: str = "2017-12-31"
+
+    def scaled(self, scale: float) -> "PlatformProfile":
+        """Return a copy with item/shop/user counts multiplied by *scale*."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        from dataclasses import replace
+
+        return replace(
+            self,
+            n_shops=max(30, int(round(self.n_shops * scale))),
+            n_items=max(20, int(round(self.n_items * scale))),
+            n_users=max(50, int(round(self.n_users * scale))),
+        )
+
+
+def taobao_profile() -> PlatformProfile:
+    """Profile of the Taobao-like training platform.
+
+    At ``scale=1.0`` the platform matches D1's proportions: ~1.48M items
+    from ~16k shops with ~1.26% fraud items.  Builders typically request
+    ``scale=0.01`` or smaller.
+    """
+    return PlatformProfile(
+        name="taobao-sim",
+        n_shops=15_992,
+        n_items=1_480_134,
+        n_users=3_000_000,
+        fraud_item_rate=0.0126,
+        evidence_fraction=0.898,
+        organic_comments_log_mean=2.1,
+        organic_comments_log_sigma=0.9,
+        dead_item_rate=0.06,
+        promo_comments_log_mean=3.0,
+        promo_comments_log_sigma=0.55,
+        sales_per_comment=1.6,
+        expvalue_log_median=8.6,  # median exp(8.6) ~= 5,400
+        expvalue_log_sigma=1.25,
+        promoter_fraction=0.012,
+        promoter_floor_fraction=0.32,
+        promoter_log_median=6.6,  # median ~= 735
+        promoter_log_sigma=0.75,
+    )
+
+
+def eplatform_profile() -> PlatformProfile:
+    """Profile of the crawled E-platform-like B2C retailer.
+
+    Differs from the Taobao profile in population size, comment volume,
+    fraud prevalence and client mix -- the detector never sees labels
+    from this platform, matching the paper's Section IV setup.
+    """
+    return PlatformProfile(
+        name="eplatform-sim",
+        n_shops=9_000,
+        n_items=4_500_000,
+        n_users=6_000_000,
+        fraud_item_rate=0.0024,  # ~10,720 reported out of ~4.5M
+        evidence_fraction=0.0,  # no internal evidence: labels are ours only
+        organic_comments_log_mean=2.2,
+        organic_comments_log_sigma=0.95,
+        dead_item_rate=0.08,
+        promo_comments_log_mean=3.2,
+        promo_comments_log_sigma=0.5,
+        sales_per_comment=1.8,
+        expvalue_log_median=8.7,
+        expvalue_log_sigma=1.3,
+        promoter_fraction=0.022,
+        promoter_floor_fraction=0.42,
+        promoter_log_median=6.5,
+        promoter_log_sigma=0.8,
+        organic_client_mix={
+            Client.ANDROID: 0.47,
+            Client.IPHONE: 0.27,
+            Client.WEB: 0.13,
+            Client.WECHAT: 0.13,
+        },
+        promo_client_mix={
+            Client.WEB: 0.66,
+            Client.ANDROID: 0.14,
+            Client.IPHONE: 0.08,
+            Client.WECHAT: 0.12,
+        },
+        campaign_items_mean=3.5,
+        cohort_size_mean=26.0,
+        promo_orders_per_promoter=1.5,
+        date_start="2017-09-01",
+        date_end="2017-12-31",
+    )

@@ -1,0 +1,177 @@
+"""Public-web facade of a simulated platform.
+
+The paper's data collector scrapes three page types from E-platform's
+public website: shop homepages, shop item listings and item comment
+pages (Section IV-A).  :class:`PlatformWebsite` exposes the same surface
+as paginated JSON-like endpoints, and injects the two failure modes any
+real crawl contends with:
+
+* transient errors (HTTP 5xx / throttling) -- a configurable fraction of
+  requests raise :class:`TransientHTTPError`, exercising the crawler's
+  retry logic;
+* duplicated records -- a configurable fraction of rows appear twice
+  across pages, exercising the collector's noise filtering (the paper:
+  "the data collector can filter the noisy data (e.g., duplicated data
+  records)").
+
+Comment records match the paper's Listing 2 field-for-field: ``item_id``,
+``comment_id``, ``comment_content``, anonymized ``nickname``,
+``userExpValue``, ``client_information`` and ``date``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.ecommerce.entities import Platform
+from repro.ml.base import as_rng
+
+
+class TransientHTTPError(RuntimeError):
+    """A retryable fetch failure (timeout, 5xx, throttle)."""
+
+
+class PlatformWebsite:
+    """Paginated public endpoints over a :class:`Platform` snapshot.
+
+    Parameters
+    ----------
+    platform:
+        The simulated platform behind the site.
+    page_size:
+        Rows per page on every endpoint.
+    failure_rate:
+        Probability that any single request raises
+        :class:`TransientHTTPError`.
+    duplicate_rate:
+        Probability that a row is duplicated in the response stream.
+    seed:
+        Seed for the failure/duplication noise.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        page_size: int = 20,
+        failure_rate: float = 0.02,
+        duplicate_rate: float = 0.01,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1), got {duplicate_rate}"
+            )
+        self._platform = platform
+        self.page_size = page_size
+        self.failure_rate = failure_rate
+        self.duplicate_rate = duplicate_rate
+        self._rng = as_rng(seed)
+        self._noise_salt = int(self._rng.integers(0, 2**31))
+        self._request_count = 0
+        self._items_by_shop: dict[int, list[int]] = {}
+        for item in platform.items:
+            self._items_by_shop.setdefault(item.shop_id, []).append(
+                item.item_id
+            )
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def request_count(self) -> int:
+        """Total requests served (including failed ones)."""
+        return self._request_count
+
+    def _serve(self) -> None:
+        self._request_count += 1
+        if self._rng.random() < self.failure_rate:
+            raise TransientHTTPError("simulated transient fetch failure")
+
+    def _duplicated(self, row: dict[str, Any]) -> bool:
+        """Deterministic per-row duplication decision.
+
+        Duplication must be a function of the row (not of the request)
+        so that pagination stays *stable* across page fetches --
+        otherwise rows would shift between pages and a paginated crawl
+        would silently lose records.
+        """
+        key = zlib.crc32(repr(sorted(row.items())).encode()) ^ self._noise_salt
+        return (key % 10_000) / 10_000.0 < self.duplicate_rate
+
+    def _paginate(
+        self, rows: list[dict[str, Any]], page: int
+    ) -> dict[str, Any]:
+        if page < 0:
+            raise ValueError(f"page must be >= 0, got {page}")
+        noisy: list[dict[str, Any]] = []
+        for row in rows:
+            noisy.append(row)
+            if self._duplicated(row):
+                noisy.append(dict(row))
+        start = page * self.page_size
+        chunk = noisy[start : start + self.page_size]
+        return {
+            "page": page,
+            "page_size": self.page_size,
+            "total": len(noisy),
+            "has_more": start + self.page_size < len(noisy),
+            "rows": chunk,
+        }
+
+    # -- endpoints -----------------------------------------------------------
+
+    def get_shops(self, page: int = 0) -> dict[str, Any]:
+        """Shop directory page: id, url, name."""
+        self._serve()
+        rows = [
+            {"shop_id": shop.shop_id, "shop_url": shop.url, "shop_name": shop.name}
+            for shop in self._platform.shops
+        ]
+        return self._paginate(rows, page)
+
+    def get_shop_items(self, shop_id: int, page: int = 0) -> dict[str, Any]:
+        """One shop's item listing: id, name, price, sales volume."""
+        self._serve()
+        item_ids = self._items_by_shop.get(shop_id)
+        if item_ids is None:
+            raise KeyError(f"unknown shop_id {shop_id}")
+        rows = []
+        for item_id in item_ids:
+            item = self._platform.item_by_id(item_id)
+            rows.append(
+                {
+                    "item_id": item.item_id,
+                    "item_name": item.name,
+                    "price": item.price,
+                    "sales_volume": item.sales_volume,
+                    "shop_id": item.shop_id,
+                }
+            )
+        return self._paginate(rows, page)
+
+    def get_item_comments(self, item_id: int, page: int = 0) -> dict[str, Any]:
+        """One item's comment page, in the shape of the paper's Listing 2."""
+        self._serve()
+        try:
+            item = self._platform.item_by_id(item_id)
+        except KeyError:
+            raise KeyError(f"unknown item_id {item_id}") from None
+        rows = []
+        for comment in item.comments:
+            user = self._platform.user(comment.user_id)
+            rows.append(
+                {
+                    "item_id": str(item.item_id),
+                    "comment_id": str(comment.comment_id),
+                    "comment_content": comment.content,
+                    "nickname": user.anonymized_nickname(),
+                    "userExpValue": str(user.exp_value),
+                    "client_information": comment.client.value,
+                    "date": comment.date,
+                }
+            )
+        return self._paginate(rows, page)

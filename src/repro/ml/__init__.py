@@ -1,0 +1,95 @@
+"""Machine-learning substrate for CATS.
+
+The paper's detector compares six binary classifiers (its Table III) --
+XGBoost, SVM, AdaBoost, a neural network, a decision tree and naive
+Bayes -- and ships XGBoost.  None of those libraries are available
+offline, so this subpackage implements each model from scratch on numpy:
+
+* :mod:`repro.ml.gbdt` -- second-order gradient-boosted trees with the
+  regularized objective of the XGBoost paper (Chen & Guestrin, KDD'16).
+* :mod:`repro.ml.svm` -- L2-regularized linear SVM trained by dual
+  coordinate descent.
+* :mod:`repro.ml.adaboost` -- SAMME AdaBoost over decision stumps.
+* :mod:`repro.ml.neural` -- a multilayer perceptron trained with Adam.
+* :mod:`repro.ml.tree` -- a CART decision tree (gini impurity).
+* :mod:`repro.ml.naive_bayes` -- Gaussian NB (detector candidate) and
+  multinomial NB (backs the sentiment model).
+
+Shared infrastructure lives in :mod:`repro.ml.base` (estimator protocol),
+:mod:`repro.ml.metrics` (precision/recall/F-score, the paper's reported
+measures), :mod:`repro.ml.model_selection` (the five-fold cross
+validation of Table III) and :mod:`repro.ml.preprocessing` (scalers for
+the SVM / MLP, which need standardized inputs).
+"""
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+from repro.ml.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    average_precision_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.naive_bayes import GaussianNB, MultinomialNB
+from repro.ml.neural import MLPClassifier
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.svm import LinearSVC
+from repro.ml.tuning import (
+    GridSearchResult,
+    ThresholdCalibration,
+    calibrate_threshold,
+    grid_search,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "AdaBoostClassifier",
+    "GridSearchResult",
+    "ThresholdCalibration",
+    "calibrate_threshold",
+    "grid_search",
+    "BaseClassifier",
+    "DecisionTreeClassifier",
+    "GaussianNB",
+    "GradientBoostingClassifier",
+    "KFold",
+    "LinearSVC",
+    "MLPClassifier",
+    "MinMaxScaler",
+    "MultinomialNB",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy_score",
+    "average_precision_score",
+    "brier_score",
+    "expected_calibration_error",
+    "reliability_curve",
+    "check_X_y",
+    "check_array",
+    "classification_report",
+    "confusion_matrix",
+    "cross_validate",
+    "f1_score",
+    "precision_recall_f1",
+    "precision_score",
+    "recall_score",
+    "roc_auc_score",
+    "train_test_split",
+]

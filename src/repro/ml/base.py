@@ -1,0 +1,105 @@
+"""Estimator protocol and input validation shared by every classifier.
+
+Every model in :mod:`repro.ml` follows the familiar fit/predict protocol:
+
+* ``fit(X, y)`` trains in place and returns ``self``;
+* ``predict(X)`` returns hard 0/1 labels;
+* ``predict_proba(X)`` returns an ``(n, 2)`` array of class probabilities
+  (column 1 is ``P(fraud)``), when the model supports it;
+* ``decision_function(X)`` returns a real-valued score when natural.
+
+Binary labels are always ``{0, 1}`` with 1 = fraud, matching the paper's
+framing of fraud detection as binary classification.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def check_array(X: "np.typing.ArrayLike", name: str = "X") -> np.ndarray:
+    """Validate a 2-D float feature matrix and return it as ``float64``.
+
+    Raises ``ValueError`` on wrong dimensionality, emptiness, or
+    non-finite entries.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_X_y(
+    X: "np.typing.ArrayLike", y: "np.typing.ArrayLike"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix together with binary 0/1 labels."""
+    X_arr = check_array(X)
+    y_arr = np.asarray(y)
+    if y_arr.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y_arr.shape}")
+    if y_arr.shape[0] != X_arr.shape[0]:
+        raise ValueError(
+            f"X and y disagree on sample count: {X_arr.shape[0]} vs "
+            f"{y_arr.shape[0]}"
+        )
+    labels = np.unique(y_arr)
+    if not np.all(np.isin(labels, [0, 1])):
+        raise ValueError(f"labels must be binary 0/1, got {labels}")
+    return X_arr, y_arr.astype(np.int64)
+
+
+class BaseClassifier(ABC):
+    """Abstract base for binary classifiers.
+
+    Subclasses implement :meth:`fit` and :meth:`predict_proba`; the default
+    :meth:`predict` thresholds ``P(fraud)`` at 0.5.
+    """
+
+    #: Set by fit(); number of input features.
+    n_features_in_: int
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseClassifier":
+        """Train on ``(X, y)`` and return self."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Return an ``(n, 2)`` array of class probabilities."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return hard 0/1 predictions."""
+        proba = self.predict_proba(X)
+        return (proba[:, 1] >= 0.5).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Return accuracy on ``(X, y)``."""
+        y_arr = np.asarray(y)
+        return float(np.mean(self.predict(X) == y_arr))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "n_features_in_"):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    def _check_n_features(self, X: np.ndarray) -> None:
+        self._check_fitted()
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected {self.n_features_in_} features, got {X.shape[1]}"
+            )
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce an int seed / Generator / None into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,84 @@
+"""Probability-calibration diagnostics.
+
+The CATS detector thresholds ``P(fraud)`` from a boosted-tree model.
+Boosted trees trained to convergence on well-separated data produce
+*overconfident* probabilities (mass piled near 0 and 1), which is why
+the deployment threshold must be calibrated rather than assumed to be
+0.5 (see :mod:`repro.ml.tuning`).  This module quantifies that:
+
+* :func:`reliability_curve` -- predicted-probability bins vs observed
+  fraud frequency (the reliability diagram's data);
+* :func:`expected_calibration_error` -- the standard ECE summary;
+* :func:`brier_score` -- mean squared probability error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(proba, labels) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(proba, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel()
+    if p.shape != y.shape:
+        raise ValueError("proba and labels must have the same shape")
+    if p.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return p, y
+
+
+def reliability_curve(
+    proba,
+    labels,
+    n_bins: int = 10,
+) -> list[dict[str, float]]:
+    """Reliability-diagram data over equal-width probability bins.
+
+    Returns one dict per *non-empty* bin with keys ``bin_lo``,
+    ``bin_hi``, ``mean_predicted``, ``observed_rate`` and ``count``.
+    """
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    p, y = _validate(proba, labels)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    # Right-inclusive final bin so p == 1.0 lands in the top bin.
+    indices = np.clip(np.digitize(p, edges[1:-1]), 0, n_bins - 1)
+    curve: list[dict[str, float]] = []
+    for b in range(n_bins):
+        mask = indices == b
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        curve.append(
+            {
+                "bin_lo": float(edges[b]),
+                "bin_hi": float(edges[b + 1]),
+                "mean_predicted": float(p[mask].mean()),
+                "observed_rate": float(y[mask].mean()),
+                "count": float(count),
+            }
+        )
+    return curve
+
+
+def expected_calibration_error(proba, labels, n_bins: int = 10) -> float:
+    """ECE: count-weighted |mean_predicted - observed_rate| over bins."""
+    p, __ = _validate(proba, labels)
+    curve = reliability_curve(proba, labels, n_bins=n_bins)
+    total = float(len(p))
+    return float(
+        sum(
+            row["count"]
+            / total
+            * abs(row["mean_predicted"] - row["observed_rate"])
+            for row in curve
+        )
+    )
+
+
+def brier_score(proba, labels) -> float:
+    """Mean squared error between probabilities and outcomes in [0, 1]."""
+    p, y = _validate(proba, labels)
+    return float(np.mean((p - y.astype(np.float64)) ** 2))

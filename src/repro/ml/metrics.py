@@ -1,0 +1,150 @@
+"""Classification metrics.
+
+The paper reports precision, recall and F-score of the fraud class
+(Tables III and VI).  Conventions here match that usage: metrics are for
+the positive class (label 1 = fraud) unless stated otherwise, and
+undefined ratios (zero denominators) evaluate to 0.0 rather than raising,
+which is the behaviour a detection pipeline wants when a fold happens to
+predict no positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true).ravel()
+    pred = np.asarray(y_pred).ravel()
+    if true.shape != pred.shape:
+        raise ValueError(
+            f"y_true and y_pred shapes differ: {true.shape} vs {pred.shape}"
+        )
+    if true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return true, pred
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Return the 2x2 confusion matrix ``[[tn, fp], [fn, tp]]``."""
+    true, pred = _validate(y_true, y_pred)
+    tn = int(np.sum((true == 0) & (pred == 0)))
+    fp = int(np.sum((true == 0) & (pred == 1)))
+    fn = int(np.sum((true == 1) & (pred == 0)))
+    tp = int(np.sum((true == 1) & (pred == 1)))
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching predictions."""
+    true, pred = _validate(y_true, y_pred)
+    return float(np.mean(true == pred))
+
+
+def precision_score(y_true, y_pred) -> float:
+    """Positive-class precision ``tp / (tp + fp)``; 0.0 when undefined."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp = cm[1, 1], cm[0, 1]
+    if tp + fp == 0:
+        return 0.0
+    return tp / (tp + fp)
+
+
+def recall_score(y_true, y_pred) -> float:
+    """Positive-class recall ``tp / (tp + fn)``; 0.0 when undefined."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fn = cm[1, 1], cm[1, 0]
+    if tp + fn == 0:
+        return 0.0
+    return tp / (tp + fn)
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall; 0.0 when both are 0."""
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def precision_recall_f1(y_true, y_pred) -> tuple[float, float, float]:
+    """Return ``(precision, recall, f1)`` in one pass."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp, fn = cm[1, 1], cm[0, 1], cm[1, 0]
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return float(precision), float(recall), float(f1)
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Handles tied scores by assigning average ranks (the Mann-Whitney
+    formulation).  Raises ``ValueError`` when only one class is present.
+    """
+    true, score = _validate(y_true, y_score)
+    n_pos = int(np.sum(true == 1))
+    n_neg = int(np.sum(true == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score needs both classes present")
+    order = np.argsort(score, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = score[order]
+    i = 0
+    n = len(sorted_scores)
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    pos_rank_sum = float(np.sum(ranks[true == 1]))
+    auc = (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    return float(auc)
+
+
+def average_precision_score(y_true, y_score) -> float:
+    """Area under the precision-recall curve (average precision).
+
+    Uses the step-wise interpolation ``sum((R_n - R_{n-1}) * P_n)`` over
+    descending score thresholds.  More informative than ROC-AUC for the
+    heavily imbalanced fraud-detection regime.  Raises ``ValueError``
+    when no positives are present.
+    """
+    true, score = _validate(y_true, y_score)
+    n_pos = int(np.sum(true == 1))
+    if n_pos == 0:
+        raise ValueError("average precision needs at least one positive")
+    order = np.argsort(-score, kind="mergesort")
+    sorted_true = true[order]
+    tp_cum = np.cumsum(sorted_true == 1)
+    predicted = np.arange(1, len(sorted_true) + 1)
+    precision = tp_cum / predicted
+    recall = tp_cum / n_pos
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+def classification_report(y_true, y_pred) -> str:
+    """Render a small human-readable report of the binary metrics."""
+    cm = confusion_matrix(y_true, y_pred)
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+    accuracy = accuracy_score(y_true, y_pred)
+    lines = [
+        "              predicted",
+        "              normal  fraud",
+        f"actual normal {cm[0, 0]:>6d} {cm[0, 1]:>6d}",
+        f"actual fraud  {cm[1, 0]:>6d} {cm[1, 1]:>6d}",
+        "",
+        f"accuracy : {accuracy:.4f}",
+        f"precision: {precision:.4f}",
+        f"recall   : {recall:.4f}",
+        f"f1-score : {f1:.4f}",
+    ]
+    return "\n".join(lines)

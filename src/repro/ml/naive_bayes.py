@@ -1,0 +1,140 @@
+"""Naive Bayes classifiers.
+
+Two variants are needed:
+
+* :class:`GaussianNB` -- the "Naive Bayes" candidate of Table III, run on
+  the 11 continuous CATS features;
+* :class:`MultinomialNB` -- backs the sentiment analyzer
+  (:mod:`repro.semantics.sentiment`): SnowNLP's sentiment model is a
+  bag-of-words multinomial NB trained on labeled shopping reviews, and we
+  reproduce exactly that construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+
+
+class GaussianNB(BaseClassifier):
+    """Gaussian naive Bayes over continuous features.
+
+    Per class and feature a normal distribution is fit; variances get a
+    small additive floor (``var_smoothing`` times the largest feature
+    variance) for numerical stability, as in the classical
+    implementation.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing <= 0:
+            raise ValueError(
+                f"var_smoothing must be positive, got {var_smoothing}"
+            )
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y) -> "GaussianNB":
+        """Estimate per-class feature means/variances and priors."""
+        X_arr, y_arr = check_X_y(X, y)
+        self.n_features_in_ = X_arr.shape[1]
+        self.classes_ = np.array([0, 1], dtype=np.int64)
+        self.theta_ = np.zeros((2, self.n_features_in_))
+        self.var_ = np.zeros((2, self.n_features_in_))
+        self.class_prior_ = np.zeros(2)
+        epsilon = self.var_smoothing * float(X_arr.var(axis=0).max() or 1.0)
+        for cls in (0, 1):
+            rows = X_arr[y_arr == cls]
+            if len(rows) == 0:
+                raise ValueError(f"class {cls} has no training samples")
+            self.theta_[cls] = rows.mean(axis=0)
+            self.var_[cls] = rows.var(axis=0) + epsilon
+            self.class_prior_[cls] = len(rows) / len(y_arr)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        jll = np.zeros((X.shape[0], 2))
+        for cls in (0, 1):
+            log_prior = np.log(self.class_prior_[cls])
+            log_det = -0.5 * np.sum(np.log(2.0 * np.pi * self.var_[cls]))
+            maha = -0.5 * np.sum(
+                (X - self.theta_[cls]) ** 2 / self.var_[cls], axis=1
+            )
+            jll[:, cls] = log_prior + log_det + maha
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Normalized posterior probabilities."""
+        X_arr = check_array(X)
+        self._check_n_features(X_arr)
+        jll = self._joint_log_likelihood(X_arr)
+        jll -= jll.max(axis=1, keepdims=True)
+        likes = np.exp(jll)
+        return likes / likes.sum(axis=1, keepdims=True)
+
+
+class MultinomialNB:
+    """Multinomial naive Bayes over token-count vectors.
+
+    Operates on sparse token-id lists rather than dense matrices (the
+    sentiment corpus vocabulary is large).  Laplace smoothing is
+    controlled by ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def fit(
+        self, documents: list[list[int]], labels: list[int], vocab_size: int
+    ) -> "MultinomialNB":
+        """Train on *documents* (token-id lists) with binary *labels*.
+
+        ``vocab_size`` fixes the smoothing denominator so unseen ids up
+        to that size are handled consistently at prediction time.
+        """
+        if len(documents) != len(labels):
+            raise ValueError("documents and labels must have equal length")
+        if vocab_size < 1:
+            raise ValueError(f"vocab_size must be >= 1, got {vocab_size}")
+        self.vocab_size = vocab_size
+        counts = np.full((2, vocab_size), 0.0)
+        class_docs = np.zeros(2)
+        for doc, label in zip(documents, labels):
+            if label not in (0, 1):
+                raise ValueError(f"labels must be binary 0/1, got {label}")
+            class_docs[label] += 1
+            for token in doc:
+                if not 0 <= token < vocab_size:
+                    raise ValueError(
+                        f"token id {token} outside vocab of size {vocab_size}"
+                    )
+                counts[label, token] += 1.0
+        if class_docs.min() == 0:
+            raise ValueError("both classes need at least one document")
+        totals = counts.sum(axis=1, keepdims=True)
+        self.feature_log_prob_ = np.log(counts + self.alpha) - np.log(
+            totals + self.alpha * vocab_size
+        )
+        self.class_log_prior_ = np.log(class_docs / class_docs.sum())
+        return self
+
+    def predict_log_proba(self, document: list[int]) -> np.ndarray:
+        """Log posterior ``[log P(neg|doc), log P(pos|doc)]``."""
+        if not hasattr(self, "feature_log_prob_"):
+            raise RuntimeError("MultinomialNB is not fitted; call fit() first")
+        scores = self.class_log_prior_.copy()
+        for token in document:
+            if 0 <= token < self.vocab_size:
+                scores = scores + self.feature_log_prob_[:, token]
+        scores -= max(scores)
+        norm = np.log(np.sum(np.exp(scores)))
+        return scores - norm
+
+    def predict_proba(self, document: list[int]) -> np.ndarray:
+        """Posterior ``[P(neg|doc), P(pos|doc)]``."""
+        return np.exp(self.predict_log_proba(document))
+
+    def positive_probability(self, document: list[int]) -> float:
+        """Convenience: ``P(positive | document)`` in [0, 1]."""
+        return float(self.predict_proba(document)[1])

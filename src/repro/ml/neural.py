@@ -1,0 +1,225 @@
+"""Multilayer perceptron classifier.
+
+The "Neural Network" candidate from Table III.  A small fully-connected
+network trained with mini-batch Adam on the binary cross-entropy loss:
+
+* configurable hidden layers with ReLU (or tanh) activations;
+* He/Xavier initialization matched to the activation;
+* L2 weight decay;
+* optional early stopping on a held-out validation fraction.
+
+Inputs should be standardized first (the CATS detector does this when it
+evaluates the MLP candidate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, as_rng, check_X_y, check_array
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(z.dtype)
+
+
+def _tanh_grad(z: np.ndarray) -> np.ndarray:
+    t = np.tanh(z)
+    return 1.0 - t * t
+
+
+_ACTIVATIONS = {
+    "relu": (_relu, _relu_grad),
+    "tanh": (np.tanh, _tanh_grad),
+}
+
+
+class MLPClassifier(BaseClassifier):
+    """Binary MLP trained with Adam on cross-entropy.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Widths of the hidden layers, e.g. ``(32, 16)``.
+    activation:
+        ``"relu"`` or ``"tanh"``.
+    learning_rate / batch_size / max_epochs:
+        Adam step size, mini-batch size, training epochs.
+    alpha:
+        L2 weight decay coefficient.
+    early_stopping / validation_fraction / patience:
+        When early stopping is on, training halts after ``patience``
+        epochs without validation-loss improvement.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (32, 16),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        max_epochs: int = 100,
+        alpha: float = 1e-4,
+        early_stopping: bool = False,
+        validation_fraction: float = 0.1,
+        patience: int = 10,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if any(width < 1 for width in hidden_layer_sizes):
+            raise ValueError("hidden layer widths must be positive")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.alpha = alpha
+        self.early_stopping = early_stopping
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self._seed = seed
+
+    # -- internals -----------------------------------------------------
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden_layer_sizes, 1]
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            if self.activation == "relu":
+                scale = np.sqrt(2.0 / fan_in)
+            else:
+                scale = np.sqrt(1.0 / fan_in)
+            self._weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out))
+            )
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(
+        self, X: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Return (pre-activations, activations) per layer."""
+        act_fn, _ = _ACTIVATIONS[self.activation]
+        pre: list[np.ndarray] = []
+        acts: list[np.ndarray] = [X]
+        for layer, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = acts[-1] @ W + b
+            pre.append(z)
+            if layer < len(self._weights) - 1:
+                acts.append(act_fn(z))
+            else:
+                acts.append(1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0))))
+        return pre, acts
+
+    def _loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        __, acts = self._forward(X)
+        p = np.clip(acts[-1].ravel(), 1e-9, 1.0 - 1e-9)
+        return float(
+            -np.mean(y * np.log(p) + (1.0 - y) * np.log(1.0 - p))
+        )
+
+    # -- training --------------------------------------------------------
+
+    def fit(self, X, y) -> "MLPClassifier":
+        """Train with mini-batch Adam on ``(X, y)``."""
+        X_arr, y_arr = check_X_y(X, y)
+        rng = as_rng(self._seed)
+        self.n_features_in_ = X_arr.shape[1]
+        y_float = y_arr.astype(np.float64)
+
+        if self.early_stopping:
+            n_val = max(1, int(round(self.validation_fraction * len(y_arr))))
+            order = rng.permutation(len(y_arr))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            X_val, y_val = X_arr[val_idx], y_float[val_idx]
+            X_train, y_train = X_arr[train_idx], y_float[train_idx]
+        else:
+            X_val = y_val = None
+            X_train, y_train = X_arr, y_float
+
+        self._init_params(self.n_features_in_, rng)
+        _, act_grad = _ACTIVATIONS[self.activation]
+
+        # Adam state.
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val = np.inf
+        best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        stale_epochs = 0
+        n = len(y_train)
+        self.loss_curve_: list[float] = []
+
+        for _ in range(self.max_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Xb = X_train[batch]
+                yb = y_train[batch]
+                pre, acts = self._forward(Xb)
+                batch_n = len(batch)
+                # Output delta for sigmoid + BCE is (p - y).
+                delta = (acts[-1].ravel() - yb).reshape(-1, 1) / batch_n
+                grads_w: list[np.ndarray] = [None] * len(self._weights)  # type: ignore[list-item]
+                grads_b: list[np.ndarray] = [None] * len(self._biases)  # type: ignore[list-item]
+                for layer in reversed(range(len(self._weights))):
+                    grads_w[layer] = (
+                        acts[layer].T @ delta
+                        + self.alpha * self._weights[layer]
+                    )
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * act_grad(
+                            pre[layer - 1]
+                        )
+                step += 1
+                lr_t = (
+                    self.learning_rate
+                    * np.sqrt(1.0 - beta2**step)
+                    / (1.0 - beta1**step)
+                )
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    self._weights[layer] -= lr_t * m_w[layer] / (
+                        np.sqrt(v_w[layer]) + eps
+                    )
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self._biases[layer] -= lr_t * m_b[layer] / (
+                        np.sqrt(v_b[layer]) + eps
+                    )
+            self.loss_curve_.append(self._loss(X_train, y_train))
+            if self.early_stopping:
+                val_loss = self._loss(X_val, y_val)
+                if val_loss < best_val - 1e-6:
+                    best_val = val_loss
+                    best_params = (
+                        [W.copy() for W in self._weights],
+                        [b.copy() for b in self._biases],
+                    )
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.patience:
+                        break
+        if self.early_stopping and best_params is not None:
+            self._weights, self._biases = best_params
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return ``(n, 2)`` class probabilities from the output sigmoid."""
+        X_arr = check_array(X)
+        self._check_n_features(X_arr)
+        __, acts = self._forward(X_arr)
+        prob_pos = acts[-1].ravel()
+        return np.column_stack([1.0 - prob_pos, prob_pos])

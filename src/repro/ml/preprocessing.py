@@ -1,0 +1,95 @@
+"""Feature scaling.
+
+The margin-based and gradient-trained models (linear SVM, MLP) are
+sensitive to feature scale -- several CATS features are raw sums (e.g.
+``sumCommentLength``) spanning orders of magnitude more than ratios such
+as ``uniqueWordRatio`` -- so the detector standardizes features for those
+models.  Tree-based models are scale-invariant and skip this step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_array
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but un-divided to
+    avoid NaN blowups.
+    """
+
+    def fit(self, X) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        arr = check_array(X)
+        self.mean_ = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        # Avoid dividing by zero for constant features.
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        self.n_features_in_ = arr.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned standardization."""
+        self._check_fitted()
+        arr = check_array(X)
+        if arr.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected {self.n_features_in_} features, got {arr.shape[1]}"
+            )
+        return (arr - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Undo the standardization."""
+        self._check_fitted()
+        arr = check_array(X)
+        return arr * self.scale_ + self.mean_
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+
+
+class MinMaxScaler:
+    """Scale features linearly into ``[feature_min, feature_max]``."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        lo, hi = feature_range
+        if lo >= hi:
+            raise ValueError(f"invalid feature_range {feature_range}")
+        self.feature_range = feature_range
+
+    def fit(self, X) -> "MinMaxScaler":
+        """Learn per-feature min and max."""
+        arr = check_array(X)
+        self.data_min_ = arr.min(axis=0)
+        self.data_max_ = arr.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self._span = span
+        self.n_features_in_ = arr.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned scaling."""
+        if not hasattr(self, "data_min_"):
+            raise RuntimeError("MinMaxScaler is not fitted; call fit() first")
+        arr = check_array(X)
+        if arr.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected {self.n_features_in_} features, got {arr.shape[1]}"
+            )
+        lo, hi = self.feature_range
+        unit = (arr - self.data_min_) / self._span
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,35 @@
+"""Semantic-analysis substrate for CATS.
+
+The paper's *semantic analyzer* has two jobs (its Section II-B):
+
+1. train a word2vec model on a large comment corpus and use it to expand
+   a handful of positive/negative *seed* words into the full positive set
+   ``P`` and negative set ``N`` (~200 words each, Table I) by iterative
+   k-nearest-neighbour search in embedding space;
+2. provide a sentiment model (the paper uses SnowNLP's pre-trained
+   shopping-review model) that maps one comment to ``P(positive)`` in
+   ``[0, 1]``.
+
+This subpackage reproduces both from scratch:
+
+* :mod:`repro.semantics.word2vec` -- skip-gram with negative sampling on
+  numpy;
+* :mod:`repro.semantics.similarity` -- cosine k-NN and the iterative
+  seed-expansion procedure;
+* :mod:`repro.semantics.sentiment` -- a multinomial-NB sentiment model
+  with the SnowNLP interface (``score() -> [0, 1]``);
+* :mod:`repro.semantics.corpus` -- streaming/corpus bookkeeping.
+"""
+
+from repro.semantics.corpus import CommentCorpus
+from repro.semantics.sentiment import SentimentModel
+from repro.semantics.similarity import expand_lexicon, most_similar
+from repro.semantics.word2vec import Word2Vec
+
+__all__ = [
+    "CommentCorpus",
+    "SentimentModel",
+    "Word2Vec",
+    "expand_lexicon",
+    "most_similar",
+]

@@ -1,0 +1,68 @@
+"""Corpus bookkeeping for the semantic analyzer.
+
+A :class:`CommentCorpus` holds segmented comments (lists of words) plus
+the derived :class:`~repro.text.vocabulary.Vocabulary`.  It is the input
+format of both the word2vec trainer and the sentiment-model trainer, and
+mirrors the paper's "corpus of over 70 million records of comments"
+(ours is synthetic and smaller; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.text.vocabulary import Vocabulary
+
+
+class CommentCorpus:
+    """A collection of segmented comments with a shared vocabulary."""
+
+    def __init__(self, sentences: Iterable[Sequence[str]]) -> None:
+        self._sentences: list[list[str]] = [list(s) for s in sentences]
+        self._vocabulary = Vocabulary.from_sentences(self._sentences)
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """Vocabulary counted over the whole corpus."""
+        return self._vocabulary
+
+    @property
+    def n_sentences(self) -> int:
+        """Number of comments in the corpus."""
+        return len(self._sentences)
+
+    @property
+    def n_tokens(self) -> int:
+        """Total word occurrences across all comments."""
+        return self._vocabulary.total_count
+
+    def __len__(self) -> int:
+        return len(self._sentences)
+
+    def __iter__(self) -> Iterator[list[str]]:
+        return iter(self._sentences)
+
+    def __getitem__(self, index: int) -> list[str]:
+        return self._sentences[index]
+
+    def encoded(self, vocabulary: Vocabulary | None = None) -> list[list[int]]:
+        """Return the corpus as word-id lists under *vocabulary*.
+
+        Words missing from the vocabulary (e.g. after min-count pruning)
+        are dropped, matching word2vec preprocessing.
+        """
+        vocab = vocabulary if vocabulary is not None else self._vocabulary
+        return [vocab.encode(sentence) for sentence in self._sentences]
+
+    def extend(self, sentences: Iterable[Sequence[str]]) -> None:
+        """Append more comments, updating the vocabulary."""
+        for sentence in sentences:
+            words = list(sentence)
+            self._sentences.append(words)
+            self._vocabulary.add_sentence(words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommentCorpus(sentences={self.n_sentences}, "
+            f"tokens={self.n_tokens}, vocab={len(self._vocabulary)})"
+        )

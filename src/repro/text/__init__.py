@@ -1,0 +1,59 @@
+"""Text-processing substrate for CATS.
+
+E-commerce comments on the platforms studied by the paper (Taobao and
+"E-platform") are written in Chinese, which carries no whitespace word
+boundaries.  The paper therefore word-segments every comment before any
+feature can be computed.  This subpackage reproduces that substrate:
+
+* :mod:`repro.text.tokenizer` -- low-level character classification and
+  punctuation handling.
+* :mod:`repro.text.segmentation` -- dictionary-driven word segmenters
+  (forward/backward maximum matching and a unigram Viterbi segmenter),
+  the moral equivalent of the jieba-style segmenter the paper relies on.
+* :mod:`repro.text.vocabulary` -- word/frequency bookkeeping shared by the
+  segmenters and the word2vec trainer.
+* :mod:`repro.text.ngrams` -- contiguous n-gram extraction used by the
+  word-level features.
+* :mod:`repro.text.stats` -- entropy / length / punctuation / uniqueness
+  statistics used by the structural features.
+"""
+
+from repro.text.ngrams import bigrams, ngrams, positive_bigram_count
+from repro.text.segmentation import (
+    BidirectionalMatcher,
+    DictionarySegmenter,
+    MaxMatchSegmenter,
+    ViterbiSegmenter,
+)
+from repro.text.stats import (
+    comment_entropy,
+    punctuation_count,
+    punctuation_ratio,
+    unique_word_ratio,
+)
+from repro.text.tokenizer import (
+    PUNCTUATION,
+    is_punctuation,
+    split_punctuation,
+    strip_punctuation,
+)
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "PUNCTUATION",
+    "BidirectionalMatcher",
+    "DictionarySegmenter",
+    "MaxMatchSegmenter",
+    "ViterbiSegmenter",
+    "Vocabulary",
+    "bigrams",
+    "comment_entropy",
+    "is_punctuation",
+    "ngrams",
+    "positive_bigram_count",
+    "punctuation_count",
+    "punctuation_ratio",
+    "split_punctuation",
+    "strip_punctuation",
+    "unique_word_ratio",
+]

@@ -1,0 +1,62 @@
+"""Contiguous n-gram extraction.
+
+The paper's word-level features ``averageNgramNumber`` and
+``averageNgramRatio`` count *positive 2-grams*: contiguous word pairs
+``(W_i, W_j)`` in which at least one word belongs to the positive set
+``P``.  The helpers here implement n-gram iteration and that membership
+test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def ngrams(words: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """Return the contiguous *n*-grams of *words*.
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if len(words) < n:
+        return []
+    return [tuple(words[i : i + n]) for i in range(len(words) - n + 1)]
+
+
+def bigrams(words: Sequence[str]) -> list[tuple[str, str]]:
+    """Return the contiguous 2-grams of *words*."""
+    return [(words[i], words[i + 1]) for i in range(len(words) - 1)]
+
+
+def is_positive_bigram(
+    bigram: tuple[str, str], positive_words: Iterable[str]
+) -> bool:
+    """True when at least one word of *bigram* is in *positive_words*.
+
+    This is the paper's definition of membership in the positive 2-gram
+    set ``G``.
+    """
+    positive = (
+        positive_words
+        if isinstance(positive_words, (set, frozenset))
+        else set(positive_words)
+    )
+    first, second = bigram
+    return first in positive or second in positive
+
+
+def positive_bigram_count(
+    words: Sequence[str], positive_words: frozenset[str] | set[str]
+) -> int:
+    """Count contiguous 2-grams of *words* with a positive member.
+
+    >>> positive_bigram_count(["good", "item", "bad"], {"good"})
+    1
+    """
+    count = 0
+    for i in range(len(words) - 1):
+        if words[i] in positive_words or words[i + 1] in positive_words:
+            count += 1
+    return count

@@ -1,0 +1,221 @@
+"""Dictionary-driven word segmentation.
+
+The paper computes every feature over the *word segmentation result* of
+each comment (its notation ``C_i^j(t)``), relying on an off-the-shelf
+Chinese segmenter.  Our synthetic comment language is rendered the same
+way -- words concatenated without delimiters -- so we implement the
+standard family of dictionary segmenters:
+
+* :class:`MaxMatchSegmenter` -- greedy forward or backward maximum
+  matching; linear time, the classic baseline.
+* :class:`BidirectionalMatcher` -- runs both directions and keeps the
+  segmentation with fewer words (ties broken toward fewer single-character
+  words), the usual heuristic for resolving max-match ambiguity.
+* :class:`ViterbiSegmenter` -- exact maximum-likelihood segmentation under
+  a unigram language model, solved with dynamic programming.  This is the
+  segmenter CATS uses by default because it recovers from the pathological
+  greedy failures of max-match.
+
+All segmenters share the :class:`DictionarySegmenter` interface: they cut
+punctuation-free runs; punctuation splitting is handled up front so that
+the structural features can still see the raw punctuation marks.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+
+from repro.text.tokenizer import split_punctuation
+from repro.text.vocabulary import Vocabulary
+
+#: Log-probability assigned to a character that must be emitted as an
+#: out-of-vocabulary single-character word.  Chosen low enough that the
+#: Viterbi segmenter only falls back to it when no dictionary word fits.
+_OOV_LOG_PROB = -17.0
+
+
+class DictionarySegmenter(ABC):
+    """Common interface for dictionary-based segmenters.
+
+    Parameters
+    ----------
+    lexicon:
+        Either a :class:`Vocabulary` or any ``{word: count}`` mapping.
+        Counts are only used by probability-aware subclasses.
+    """
+
+    def __init__(self, lexicon: Vocabulary | Mapping[str, int]) -> None:
+        if isinstance(lexicon, Vocabulary):
+            self._counts = {word: lexicon.count(word) for word in lexicon}
+        else:
+            self._counts = dict(lexicon)
+        if not self._counts:
+            raise ValueError("segmenter lexicon must not be empty")
+        self._max_word_len = max(len(word) for word in self._counts)
+
+    @property
+    def lexicon_size(self) -> int:
+        """Number of dictionary words available to the segmenter."""
+        return len(self._counts)
+
+    @property
+    def max_word_length(self) -> int:
+        """Length of the longest dictionary word."""
+        return self._max_word_len
+
+    def knows(self, word: str) -> bool:
+        """Return True when *word* is in the dictionary."""
+        return word in self._counts
+
+    def segment(self, text: str) -> list[str]:
+        """Segment *text* (which may contain punctuation) into words.
+
+        Punctuation marks and whitespace are removed; each maximal run of
+        word characters is segmented independently.
+        """
+        words: list[str] = []
+        for run in split_punctuation(text):
+            words.extend(self._segment_run(run))
+        return words
+
+    def segment_many(self, texts: Iterable[str]) -> list[list[str]]:
+        """Segment every text in *texts*."""
+        return [self.segment(text) for text in texts]
+
+    @abstractmethod
+    def _segment_run(self, run: str) -> list[str]:
+        """Segment one punctuation-free run into words."""
+
+
+class MaxMatchSegmenter(DictionarySegmenter):
+    """Greedy maximum matching in a single direction.
+
+    Parameters
+    ----------
+    lexicon:
+        Dictionary words (with counts, unused here).
+    reverse:
+        When False (default) match forward from the left edge; when True
+        match backward from the right edge.
+    """
+
+    def __init__(
+        self,
+        lexicon: Vocabulary | Mapping[str, int],
+        reverse: bool = False,
+    ) -> None:
+        super().__init__(lexicon)
+        self._reverse = reverse
+
+    def _segment_run(self, run: str) -> list[str]:
+        if self._reverse:
+            return self._match_backward(run)
+        return self._match_forward(run)
+
+    def _match_forward(self, run: str) -> list[str]:
+        words: list[str] = []
+        start = 0
+        n = len(run)
+        while start < n:
+            end = min(n, start + self._max_word_len)
+            while end > start + 1 and run[start:end] not in self._counts:
+                end -= 1
+            words.append(run[start:end])
+            start = end
+        return words
+
+    def _match_backward(self, run: str) -> list[str]:
+        words: list[str] = []
+        end = len(run)
+        while end > 0:
+            start = max(0, end - self._max_word_len)
+            while start < end - 1 and run[start:end] not in self._counts:
+                start += 1
+            words.append(run[start:end])
+            end = start
+        words.reverse()
+        return words
+
+
+class BidirectionalMatcher(DictionarySegmenter):
+    """Run forward and backward max-match; keep the better segmentation.
+
+    "Better" follows the standard heuristic: fewer words wins; on a tie,
+    fewer single-character words wins; on a further tie, the backward
+    result wins (backward matching is empirically more accurate for
+    Chinese, which our synthetic language imitates).
+    """
+
+    def __init__(self, lexicon: Vocabulary | Mapping[str, int]) -> None:
+        super().__init__(lexicon)
+        self._forward = MaxMatchSegmenter(self._counts, reverse=False)
+        self._backward = MaxMatchSegmenter(self._counts, reverse=True)
+
+    def _segment_run(self, run: str) -> list[str]:
+        fwd = self._forward._segment_run(run)
+        bwd = self._backward._segment_run(run)
+        if len(fwd) != len(bwd):
+            return fwd if len(fwd) < len(bwd) else bwd
+        fwd_singles = sum(1 for w in fwd if len(w) == 1)
+        bwd_singles = sum(1 for w in bwd if len(w) == 1)
+        if fwd_singles < bwd_singles:
+            return fwd
+        return bwd
+
+
+class ViterbiSegmenter(DictionarySegmenter):
+    """Maximum-likelihood segmentation under a unigram language model.
+
+    Each dictionary word ``w`` carries log-probability
+    ``log(count(w) + 1) - log(total + V)`` (add-one smoothing); unknown
+    single characters are allowed at a strong penalty so that every input
+    remains segmentable.  Dynamic programming finds the word sequence with
+    the highest total log-probability in ``O(n * max_word_len)``.
+    """
+
+    def __init__(self, lexicon: Vocabulary | Mapping[str, int]) -> None:
+        super().__init__(lexicon)
+        total = sum(self._counts.values())
+        denom = math.log(total + len(self._counts))
+        self._log_probs = {
+            word: math.log(count + 1) - denom
+            for word, count in self._counts.items()
+        }
+
+    def word_log_prob(self, word: str) -> float:
+        """Return the smoothed unigram log-probability of *word*."""
+        return self._log_probs.get(word, _OOV_LOG_PROB)
+
+    def _segment_run(self, run: str) -> list[str]:
+        n = len(run)
+        if n == 0:
+            return []
+        # best[i] = best log-prob of segmenting run[:i]; back[i] = start of
+        # the final word in that segmentation.
+        best = [-math.inf] * (n + 1)
+        back = [0] * (n + 1)
+        best[0] = 0.0
+        for end in range(1, n + 1):
+            lo = max(0, end - self._max_word_len)
+            for start in range(lo, end):
+                word = run[start:end]
+                if word in self._log_probs:
+                    log_prob = self._log_probs[word]
+                elif end - start == 1:
+                    log_prob = _OOV_LOG_PROB
+                else:
+                    continue
+                score = best[start] + log_prob
+                if score > best[end]:
+                    best[end] = score
+                    back[end] = start
+        words: list[str] = []
+        end = n
+        while end > 0:
+            start = back[end]
+            words.append(run[start:end])
+            end = start
+        words.reverse()
+        return words

@@ -1,0 +1,133 @@
+"""Word/frequency bookkeeping shared across the text and semantics layers.
+
+A :class:`Vocabulary` maps words to contiguous integer ids and tracks raw
+corpus frequencies.  It backs three consumers:
+
+* the Viterbi segmenter, which needs unigram probabilities;
+* the word2vec trainer, which needs id-indexed count arrays for the
+  subsampling and negative-sampling tables;
+* the word-cloud analysis, which needs most-common queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+
+class Vocabulary:
+    """A frequency-aware word <-> id mapping.
+
+    Parameters
+    ----------
+    counts:
+        Optional initial ``{word: count}`` mapping.
+    """
+
+    def __init__(self, counts: Mapping[str, int] | None = None) -> None:
+        self._counts: Counter[str] = Counter()
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        if counts:
+            for word, count in counts.items():
+                self.add(word, count)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_sentences(cls, sentences: Iterable[Iterable[str]]) -> "Vocabulary":
+        """Build a vocabulary by counting every word in *sentences*."""
+        vocab = cls()
+        for sentence in sentences:
+            vocab.add_sentence(sentence)
+        return vocab
+
+    def add(self, word: str, count: int = 1) -> int:
+        """Add *count* occurrences of *word*; return the word id."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if word not in self._word_to_id:
+            self._word_to_id[word] = len(self._id_to_word)
+            self._id_to_word.append(word)
+        self._counts[word] += count
+        return self._word_to_id[word]
+
+    def add_sentence(self, sentence: Iterable[str]) -> None:
+        """Count every word of one segmented sentence."""
+        for word in sentence:
+            self.add(word)
+
+    def prune(self, min_count: int) -> "Vocabulary":
+        """Return a new vocabulary keeping only words seen >= *min_count* times."""
+        kept = {w: c for w, c in self._counts.items() if c >= min_count}
+        return Vocabulary(kept)
+
+    # -- lookups -----------------------------------------------------------
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def word_id(self, word: str) -> int:
+        """Return the id of *word*; raises KeyError when unknown."""
+        return self._word_to_id[word]
+
+    def word(self, word_id: int) -> str:
+        """Return the word with id *word_id*."""
+        return self._id_to_word[word_id]
+
+    def count(self, word: str) -> int:
+        """Return the corpus frequency of *word* (0 when unknown)."""
+        return self._counts.get(word, 0)
+
+    def encode(self, sentence: Iterable[str]) -> list[int]:
+        """Map a segmented sentence to ids, silently dropping unknown words."""
+        return [
+            self._word_to_id[word]
+            for word in sentence
+            if word in self._word_to_id
+        ]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map ids back to words."""
+        return [self._id_to_word[i] for i in ids]
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def total_count(self) -> int:
+        """Total number of word occurrences counted."""
+        return sum(self._counts.values())
+
+    def counts_array(self) -> np.ndarray:
+        """Return an ``int64`` array of counts indexed by word id."""
+        return np.array(
+            [self._counts[w] for w in self._id_to_word], dtype=np.int64
+        )
+
+    def frequency(self, word: str) -> float:
+        """Return the relative frequency of *word* in [0, 1]."""
+        total = self.total_count
+        if total == 0:
+            return 0.0
+        return self._counts.get(word, 0) / total
+
+    def most_common(self, k: int | None = None) -> list[tuple[str, int]]:
+        """Return the *k* highest-frequency ``(word, count)`` pairs."""
+        return self._counts.most_common(k)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        """Iterate over ``(word, count)`` pairs."""
+        return iter(self._counts.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Vocabulary(size={len(self)}, total_count={self.total_count})"
+        )

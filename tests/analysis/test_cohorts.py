@@ -1,0 +1,142 @@
+"""Tests for repro.analysis.cohorts (promoter-cohort mining)."""
+
+import pytest
+
+from repro.analysis.adapters import comment_records_for_item
+from repro.analysis.cohorts import (
+    attribute_items,
+    build_co_purchase_graph,
+    cohort_summary,
+    discover_cohorts,
+)
+from repro.collector.records import CommentRecord
+
+
+def comment(comment_id, item_id, nickname, exp=100):
+    return CommentRecord(
+        item_id=item_id,
+        comment_id=comment_id,
+        content="x",
+        nickname=nickname,
+        user_exp_value=exp,
+        client="web",
+        date="2017-09-10",
+    )
+
+
+@pytest.fixture()
+def two_cohort_groups():
+    """Two disjoint hired cohorts (A,B,C) and (X,Y,Z) over 4 items."""
+    counter = iter(range(1000))
+    def c(item, name, exp=100):
+        return comment(next(counter), item, name, exp)
+    return [
+        [c(1, "A"), c(1, "B"), c(1, "C")],
+        [c(2, "A"), c(2, "B"), c(2, "C")],
+        [c(3, "X", 500), c(3, "Y", 500), c(3, "Z", 500)],
+        [c(4, "X", 500), c(4, "Y", 500), c(4, "Z", 500)],
+    ]
+
+
+class TestGraph:
+    def test_nodes_and_edges(self, two_cohort_groups):
+        graph = build_co_purchase_graph(two_cohort_groups)
+        assert graph.number_of_nodes() == 6
+        # Each cohort forms a triangle.
+        assert graph.number_of_edges() == 6
+
+    def test_edge_weights_count_common_items(self, two_cohort_groups):
+        graph = build_co_purchase_graph(two_cohort_groups)
+        a, b = ("A", 100), ("B", 100)
+        assert graph[a][b]["weight"] == 2
+
+    def test_min_common_items_prunes(self, two_cohort_groups):
+        graph = build_co_purchase_graph(
+            two_cohort_groups, min_common_items=3
+        )
+        assert graph.number_of_edges() == 0
+
+    def test_node_attributes(self, two_cohort_groups):
+        graph = build_co_purchase_graph(two_cohort_groups)
+        node = ("A", 100)
+        assert graph.nodes[node]["exp_value"] == 100
+        assert graph.nodes[node]["items"] == {1, 2}
+
+
+class TestDiscoverCohorts:
+    def test_finds_both_cohorts(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        assert len(cohorts) == 2
+        sizes = sorted(c.size for c in cohorts)
+        assert sizes == [3, 3]
+
+    def test_cohort_items(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        item_sets = {frozenset(c.item_ids) for c in cohorts}
+        assert frozenset({1, 2}) in item_sets
+        assert frozenset({3, 4}) in item_sets
+
+    def test_density_of_complete_cohort(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        assert all(c.edge_density == pytest.approx(1.0) for c in cohorts)
+
+    def test_min_size_filters(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=4)
+        assert cohorts == []
+
+    def test_mean_exp_value(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        exp_values = sorted(c.mean_exp_value for c in cohorts)
+        assert exp_values == [100.0, 500.0]
+
+    def test_on_simulated_platform(self, taobao_platform):
+        """Mined cohorts on the simulator are dominated by promoters."""
+        groups = [
+            comment_records_for_item(taobao_platform, item)
+            for item in taobao_platform.fraud_items
+        ]
+        cohorts = discover_cohorts(groups, min_cohort_size=3)
+        if not cohorts:
+            pytest.skip("too few overlapping campaigns at this scale")
+        # Check members against ground truth: most mined members are
+        # actual promoter accounts.
+        promoter_keys = {
+            (u.anonymized_nickname(), u.exp_value)
+            for u in taobao_platform.users.values()
+            if u.is_promoter
+        }
+        members = set().union(*(c.members for c in cohorts))
+        promoter_fraction = len(members & promoter_keys) / len(members)
+        assert promoter_fraction > 0.7
+
+
+class TestAttribution:
+    def test_items_attributed_to_their_cohort(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        attribution = attribute_items(two_cohort_groups, cohorts)
+        assert set(attribution) == {1, 2, 3, 4}
+        assert attribution[1] == attribution[2]
+        assert attribution[3] == attribution[4]
+        assert attribution[1] != attribution[3]
+
+    def test_unattributable_items_omitted(self, two_cohort_groups):
+        lone = [[comment(999, 9, "LONER")]]
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        attribution = attribute_items(
+            two_cohort_groups + lone, cohorts
+        )
+        assert 9 not in attribution
+
+
+class TestSummary:
+    def test_empty(self):
+        out = cohort_summary([], population_mean_exp=100.0)
+        assert out["n_cohorts"] == 0.0
+
+    def test_counts(self, two_cohort_groups):
+        cohorts = discover_cohorts(two_cohort_groups, min_cohort_size=3)
+        out = cohort_summary(cohorts, population_mean_exp=400.0)
+        assert out["n_cohorts"] == 2.0
+        assert out["total_members"] == 6.0
+        assert out["total_items"] == 4.0
+        assert out["low_exp_fraction"] == 0.5

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distributions import (
+    Histogram,
+    distribution_overlap,
+    fraction_below,
+    histogram,
+    ks_statistic,
+)
+
+samples = st.lists(
+    st.floats(-50, 50, allow_nan=False), min_size=2, max_size=60
+)
+
+
+class TestHistogram:
+    def test_edges_one_longer(self):
+        hist = histogram([1.0, 2.0, 3.0], bins=4)
+        assert len(hist.edges) == 5
+        assert len(hist.density) == 4
+
+    def test_density_integrates_to_one(self):
+        hist = histogram(np.random.default_rng(0).normal(size=500), bins=30)
+        widths = np.diff(hist.edges)
+        assert float((hist.density * widths).sum()) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_fixed_range(self):
+        hist = histogram([0.5], bins=10, value_range=(0.0, 1.0))
+        assert hist.edges[0] == 0.0
+        assert hist.edges[-1] == 1.0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=np.array([0.0, 1.0]), density=np.array([1.0, 2.0]))
+
+    def test_centers(self):
+        hist = histogram([0.0, 1.0], bins=2, value_range=(0.0, 1.0))
+        np.testing.assert_allclose(hist.centers, [0.25, 0.75])
+
+
+class TestKS:
+    def test_identical_samples_zero(self):
+        a = np.arange(100.0)
+        assert ks_statistic(a, a) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+    @given(samples, samples)
+    @settings(max_examples=40)
+    def test_bounds(self, a, b):
+        assert 0.0 <= ks_statistic(a, b) <= 1.0
+
+
+class TestOverlap:
+    def test_identical_full_overlap(self):
+        a = np.random.default_rng(1).normal(size=1000)
+        assert distribution_overlap(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_zero_overlap(self):
+        assert distribution_overlap([0.0, 0.1], [9.0, 9.1]) == pytest.approx(
+            0.0
+        )
+
+    def test_constant_samples(self):
+        assert distribution_overlap([1.0, 1.0], [1.0]) == 1.0
+
+    @given(samples, samples)
+    @settings(max_examples=40)
+    def test_bounds(self, a, b):
+        assert -1e-9 <= distribution_overlap(a, b) <= 1.0 + 1e-9
+
+    def test_similar_samples_high_overlap(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=2000)
+        b = rng.normal(size=2000)
+        assert distribution_overlap(a, b) > 0.85
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5
+
+    def test_strict_inequality(self):
+        assert fraction_below([2.0, 2.0], 2.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1.0)

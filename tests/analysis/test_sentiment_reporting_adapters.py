@@ -1,0 +1,126 @@
+"""Tests for sentiment_study, reporting and adapters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adapters import comment_records_for_item, crawled_view
+from repro.analysis.distributions import histogram
+from repro.analysis.reporting import (
+    ascii_histogram,
+    compare_histograms,
+    render_table,
+)
+from repro.analysis.sentiment_study import (
+    comment_sentiments,
+    positive_comment_fraction,
+    sentiment_distribution,
+    summarize_sentiments,
+)
+
+
+class TestSentimentStudy:
+    def test_flattening(self):
+        score = lambda text: 0.9 if "good" in text else 0.1
+        out = comment_sentiments([["good a"], ["bad", "good b"]], score)
+        assert out.shape == (3,)
+        assert sorted(out.tolist()) == [0.1, 0.9, 0.9]
+
+    def test_distribution_keys(self):
+        score = lambda text: 0.5
+        dist = sentiment_distribution([["x"]], [["y"]], score)
+        assert set(dist) == {"fraud", "normal"}
+
+    def test_positive_fraction(self):
+        assert positive_comment_fraction(np.array([0.9, 0.4, 0.6])) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_positive_fraction_empty_rejected(self):
+        with pytest.raises(ValueError):
+            positive_comment_fraction(np.array([]))
+
+    def test_summary_keys(self):
+        out = summarize_sentiments(np.array([0.2, 0.8]))
+        assert set(out) == {
+            "mean",
+            "median",
+            "p10",
+            "p90",
+            "positive_fraction",
+        }
+
+    def test_fig1_contrast_on_platform(self, analyzer, taobao_platform):
+        """Fraud comments score systematically higher than normal."""
+        dist = sentiment_distribution(
+            (i.comment_texts for i in taobao_platform.fraud_items[:15]),
+            (i.comment_texts for i in taobao_platform.normal_items[:40]),
+            analyzer.comment_sentiment,
+        )
+        assert dist["fraud"].mean() > dist["normal"].mean()
+        assert positive_comment_fraction(dist["fraud"]) > 0.8
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        out = render_table(
+            ["Classifier", "Precision"],
+            [["Xgboost", 0.93], ["SVM", 0.99]],
+            title="Table III",
+        )
+        assert "Table III" in out
+        assert "Xgboost" in out
+        assert "0.930" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiHistogram:
+    def test_one_line_per_bin(self):
+        hist = histogram([1.0, 2.0, 3.0], bins=5)
+        out = ascii_histogram(hist, label="demo")
+        assert out.count("\n") == 5  # label + 5 bins - 1
+
+    def test_bars_scale(self):
+        hist = histogram([1.0] * 10 + [2.0], bins=2)
+        lines = ascii_histogram(hist).splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_compare_requires_same_edges(self):
+        a = histogram([1.0, 2.0], bins=3, value_range=(0, 3))
+        b = histogram([1.0, 2.0], bins=3, value_range=(0, 4))
+        with pytest.raises(ValueError):
+            compare_histograms(a, b)
+
+    def test_compare_renders(self):
+        a = histogram([1.0, 2.0], bins=3, value_range=(0, 3))
+        b = histogram([0.5, 2.5], bins=3, value_range=(0, 3))
+        out = compare_histograms(a, b, "fraud", "normal")
+        assert "fraud" in out and "normal" in out
+
+
+class TestAdapters:
+    def test_comment_records_fields(self, taobao_platform):
+        item = next(i for i in taobao_platform.items if i.comments)
+        records = comment_records_for_item(taobao_platform, item)
+        assert len(records) == len(item.comments)
+        assert all(r.item_id == item.item_id for r in records)
+        assert all("***" in r.nickname for r in records)
+
+    def test_crawled_view_shapes(self, taobao_platform):
+        view = crawled_view(taobao_platform, taobao_platform.items[:5])
+        assert len(view) == 5
+        assert view[0].sales_volume == taobao_platform.items[0].sales_volume
+
+    def test_crawled_view_defaults_to_all(self, taobao_platform):
+        view = crawled_view(taobao_platform)
+        assert len(view) == len(taobao_platform.items)
+
+    def test_expvalues_match_users(self, taobao_platform):
+        item = next(i for i in taobao_platform.items if i.comments)
+        records = comment_records_for_item(taobao_platform, item)
+        for record, comment in zip(records, item.comments):
+            assert record.user_exp_value == (
+                taobao_platform.user(comment.user_id).exp_value
+            )

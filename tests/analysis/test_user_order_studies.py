@@ -1,0 +1,184 @@
+"""Tests for repro.analysis.user_study and order_study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adapters import comment_records_for_item
+from repro.analysis.order_study import (
+    client_distribution,
+    client_gap,
+    dominant_client,
+)
+from repro.analysis.user_study import (
+    buyer_expvalue_distribution,
+    co_purchase_pairs,
+    expvalue_threshold_fractions,
+    items_below_population_mean,
+    repeat_purchase_stats,
+    unique_buyers,
+)
+from repro.collector.records import CommentRecord
+
+
+def comment(comment_id, item_id=1, nickname="a***b", exp=100, client="web"):
+    return CommentRecord(
+        item_id=item_id,
+        comment_id=comment_id,
+        content="x",
+        nickname=nickname,
+        user_exp_value=exp,
+        client=client,
+        date="2017-09-10",
+    )
+
+
+class TestUniqueBuyers:
+    def test_dedup_by_user_key(self):
+        comments = [comment(1), comment(2), comment(3, nickname="c***d")]
+        assert len(unique_buyers(comments)) == 2
+
+    def test_expvalue_distinguishes_same_nickname(self):
+        comments = [comment(1, exp=100), comment(2, exp=200)]
+        assert len(unique_buyers(comments)) == 2
+
+
+class TestExpvalueDistribution:
+    def test_split_by_class(self):
+        fraud = [comment(1, exp=100), comment(2, nickname="x***y", exp=200)]
+        normal = [comment(3, nickname="p***q", exp=9000)]
+        dist = buyer_expvalue_distribution(fraud, normal)
+        assert sorted(dist["fraud"]) == [100.0, 200.0]
+        assert dist["normal"].tolist() == [9000.0]
+
+    def test_threshold_fractions(self):
+        vals = np.array([100, 500, 1500, 5000])
+        out = expvalue_threshold_fractions(vals)
+        assert out["below_1000"] == 0.5
+        assert out["below_2000"] == 0.75
+        assert out["at_floor"] == 0.25
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            expvalue_threshold_fractions(np.array([]))
+
+    def test_platform_fraud_buyers_skew_low(self, taobao_platform):
+        """Fig 11: fraud buyers have much lower expvalue."""
+        fraud_comments = [
+            rec
+            for item in taobao_platform.fraud_items
+            for rec in comment_records_for_item(taobao_platform, item)
+            if rec is not None
+        ]
+        normal_comments = [
+            rec
+            for item in taobao_platform.normal_items[:100]
+            for rec in comment_records_for_item(taobao_platform, item)
+        ]
+        dist = buyer_expvalue_distribution(fraud_comments, normal_comments)
+        assert np.median(dist["fraud"]) < np.median(dist["normal"])
+
+
+class TestItemsBelowMean:
+    def test_fraction(self):
+        groups = [
+            [comment(1, exp=100)],
+            [comment(2, nickname="x***y", exp=10_000)],
+        ]
+        assert items_below_population_mean(groups, 5000.0) == 0.5
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            items_below_population_mean([], 100.0)
+
+    def test_all_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            items_below_population_mean([[]], 100.0)
+
+
+class TestRepeatPurchases:
+    def test_stats(self):
+        comments = [
+            comment(1, item_id=1),
+            comment(2, item_id=2),          # same user, second fraud item
+            comment(3, item_id=1),          # same user, same item again
+            comment(4, item_id=1, nickname="z***z"),
+        ]
+        stats = repeat_purchase_stats(comments)
+        assert stats["n_risky_users"] == 2
+        assert stats["repeat_fraction"] == 0.5
+        assert stats["max_orders_by_one_user"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_purchase_stats([])
+
+
+class TestCoPurchasePairs:
+    def test_pair_requires_min_common_items(self):
+        # Users A and B share two items; user C shares only one.
+        groups = [
+            [comment(1, 1, "A", 100), comment(2, 1, "B", 100),
+             comment(3, 1, "C", 100)],
+            [comment(4, 2, "A", 100), comment(5, 2, "B", 100)],
+        ]
+        out = co_purchase_pairs(groups, min_common_items=2)
+        assert out["qualifying_pairs"] == 1
+        assert out["distinct_users"] == 2
+
+    def test_no_pairs(self):
+        groups = [[comment(1, 1, "A", 100)], [comment(2, 2, "B", 100)]]
+        out = co_purchase_pairs(groups)
+        assert out["qualifying_pairs"] == 0
+        assert out["distinct_users"] == 0
+
+    def test_platform_pairs_collapse_to_few_users(self, taobao_platform):
+        """Section V: many co-purchase pairs, few distinct users."""
+        groups = [
+            comment_records_for_item(taobao_platform, item)
+            for item in taobao_platform.fraud_items
+        ]
+        out = co_purchase_pairs(groups, min_common_items=2)
+        if out["qualifying_pairs"] >= 10:
+            # Pairs grow quadratically in cohort size, users linearly.
+            assert out["distinct_users"] < out["qualifying_pairs"]
+
+
+class TestOrderStudy:
+    def test_distribution_normalized(self):
+        comments = [comment(1), comment(2), comment(3, client="android")]
+        dist = client_distribution(comments)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["web"] == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            client_distribution([])
+
+    def test_dominant(self):
+        assert dominant_client({"web": 0.6, "android": 0.4}) == "web"
+
+    def test_dominant_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_client({})
+
+    def test_gap(self):
+        gap = client_gap({"web": 0.7}, {"web": 0.2, "android": 0.5})
+        assert gap["web"] == pytest.approx(0.5)
+        assert gap["android"] == pytest.approx(-0.5)
+
+    def test_platform_client_contrast(self, taobao_platform):
+        """Fig 12: fraud orders web-dominant, normal Android-dominant."""
+        fraud_comments = [
+            rec
+            for item in taobao_platform.fraud_items
+            for rec in comment_records_for_item(taobao_platform, item)
+        ]
+        normal_comments = [
+            rec
+            for item in taobao_platform.normal_items[:150]
+            for rec in comment_records_for_item(taobao_platform, item)
+        ]
+        fraud_dist = client_distribution(fraud_comments)
+        normal_dist = client_distribution(normal_comments)
+        assert dominant_client(normal_dist) == "android"
+        assert fraud_dist["web"] > normal_dist["web"]

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.wordclouds."""
+
+import pytest
+
+from repro.analysis.wordclouds import (
+    cloud_similarity,
+    positive_fraction_of_words,
+    positive_share,
+    top_words,
+)
+
+
+def identity_segment(text):
+    return text.split()
+
+
+class TestTopWords:
+    def test_counts_and_ranking(self):
+        comments = [["aa bb aa", "aa cc"], ["bb aa"]]
+        ranked = top_words(comments, identity_segment, k=2)
+        assert ranked[0] == ("aa", 4)
+        assert ranked[1] == ("bb", 2)
+
+    def test_k_limits_output(self):
+        comments = [["aa bb cc dd"]]
+        assert len(top_words(comments, identity_segment, k=2)) == 2
+
+    def test_min_word_length_filters(self):
+        comments = [["a bb a bb"]]
+        ranked = top_words(comments, identity_segment, k=5)
+        assert ("a", 2) not in ranked
+        assert ("bb", 2) in ranked
+
+    def test_uses_segmenter(self, analyzer, taobao_platform):
+        fraud = taobao_platform.fraud_items[:5]
+        ranked = top_words(
+            (item.comment_texts for item in fraud), analyzer.segment, k=20
+        )
+        assert ranked
+        assert all(count >= 1 for __, count in ranked)
+
+    def test_fraud_top_words_positive_heavy(
+        self, analyzer, taobao_platform, language
+    ):
+        """The Figs 8/9 contrast: fraud clouds are positive-dominated."""
+        fraud = taobao_platform.fraud_items[:20]
+        normal = taobao_platform.normal_items[:60]
+        fraud_rank = top_words(
+            (i.comment_texts for i in fraud), analyzer.segment, k=50
+        )
+        normal_rank = top_words(
+            (i.comment_texts for i in normal), analyzer.segment, k=50
+        )
+        fraud_share = positive_share(fraud_rank, language.positive_set)
+        normal_share = positive_share(normal_rank, language.positive_set)
+        assert fraud_share > normal_share
+
+
+class TestPositiveShare:
+    def test_share_formula(self):
+        ranked = [("good", 30), ("bad", 10), ("nice", 10)]
+        assert positive_share(ranked, {"good", "nice"}) == pytest.approx(0.8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            positive_share([], {"x"})
+
+    def test_word_fraction(self):
+        ranked = [("good", 5), ("bad", 100)]
+        assert positive_fraction_of_words(ranked, {"good"}) == 0.5
+
+
+class TestCloudSimilarity:
+    def test_identical(self):
+        ranked = [("a", 2), ("b", 1)]
+        assert cloud_similarity(ranked, ranked) == 1.0
+
+    def test_disjoint(self):
+        assert cloud_similarity([("a", 1)], [("b", 1)]) == 0.0
+
+    def test_counts_ignored(self):
+        assert cloud_similarity([("a", 1)], [("a", 999)]) == 1.0
+
+    def test_empty_both(self):
+        assert cloud_similarity([], []) == 1.0
+
+    def test_cross_platform_fraud_clouds_agree(
+        self, analyzer, taobao_platform, eplatform
+    ):
+        """Fig 8 claim: the two platforms' fraud clouds nearly coincide."""
+        tb_fraud = taobao_platform.fraud_items
+        ep_fraud = eplatform.fraud_items
+        if not ep_fraud:
+            pytest.skip("no fraud items at this tiny scale")
+        a = top_words(
+            (i.comment_texts for i in tb_fraud), analyzer.segment, k=30
+        )
+        b = top_words(
+            (i.comment_texts for i in ep_fraud), analyzer.segment, k=30
+        )
+        assert cloud_similarity(a, b) > 0.3

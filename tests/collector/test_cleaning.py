@@ -1,0 +1,69 @@
+"""Tests for repro.collector.cleaning."""
+
+from repro.collector.cleaning import clean_comments, clean_items, clean_shops
+from repro.collector.records import CommentRecord, ItemRecord, ShopRecord
+
+
+def shop(shop_id):
+    return ShopRecord(shop_id=shop_id, shop_url="u", shop_name="n")
+
+
+def item(item_id):
+    return ItemRecord(
+        item_id=item_id, shop_id=1, item_name="n", price=1.0, sales_volume=5
+    )
+
+
+def comment(comment_id, item_id=1, content="text"):
+    return CommentRecord(
+        item_id=item_id,
+        comment_id=comment_id,
+        content=content,
+        nickname="a***b",
+        user_exp_value=100,
+        client="web",
+        date="2017-09-10 12:10:00",
+    )
+
+
+class TestCleanShops:
+    def test_dedup_keeps_first(self):
+        shops = [shop(1), shop(2), shop(1)]
+        assert [s.shop_id for s in clean_shops(shops)] == [1, 2]
+
+    def test_empty(self):
+        assert clean_shops([]) == []
+
+
+class TestCleanItems:
+    def test_dedup(self):
+        items = [item(1), item(1), item(2)]
+        assert [i.item_id for i in clean_items(items)] == [1, 2]
+
+    def test_order_preserved(self):
+        items = [item(3), item(1), item(2)]
+        assert [i.item_id for i in clean_items(items)] == [3, 1, 2]
+
+
+class TestCleanComments:
+    def test_dedup_by_comment_id(self):
+        comments = [comment(1), comment(1), comment(2)]
+        assert [c.comment_id for c in clean_comments(comments)] == [1, 2]
+
+    def test_drops_empty_content(self):
+        comments = [comment(1, content="  "), comment(2)]
+        assert [c.comment_id for c in clean_comments(comments)] == [2]
+
+    def test_drops_dangling_item_refs(self):
+        comments = [comment(1, item_id=1), comment(2, item_id=9)]
+        cleaned = clean_comments(comments, known_item_ids={1})
+        assert [c.comment_id for c in cleaned] == [1]
+
+    def test_no_known_ids_keeps_everything(self):
+        comments = [comment(1, item_id=42)]
+        assert len(clean_comments(comments, known_item_ids=None)) == 1
+
+    def test_idempotent(self):
+        comments = [comment(1), comment(1), comment(2, content=" ")]
+        once = clean_comments(comments)
+        assert clean_comments(once) == once

@@ -1,0 +1,122 @@
+"""Tests for repro.collector.crawler."""
+
+import pytest
+
+from repro.collector.crawler import Crawler
+from repro.ecommerce.website import PlatformWebsite
+
+
+@pytest.fixture()
+def clean_site(taobao_platform):
+    return PlatformWebsite(
+        taobao_platform, page_size=25, failure_rate=0.0, duplicate_rate=0.0,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def flaky_site(taobao_platform):
+    return PlatformWebsite(
+        taobao_platform, page_size=25, failure_rate=0.15, duplicate_rate=0.05,
+        seed=1,
+    )
+
+
+class TestValidation:
+    def test_bad_retries(self, clean_site):
+        with pytest.raises(ValueError):
+            Crawler(clean_site, max_retries=-1)
+
+
+class TestCleanCrawl:
+    def test_collects_everything(self, clean_site, taobao_platform):
+        result = Crawler(clean_site).crawl()
+        assert len(result.shops) == len(taobao_platform.shops)
+        assert len(result.items) == len(taobao_platform.items)
+        assert len(result.comments) == taobao_platform.n_comments
+
+    def test_no_retries_on_clean_site(self, clean_site):
+        crawler = Crawler(clean_site)
+        crawler.crawl()
+        assert crawler.stats.retries == 0
+        assert crawler.stats.failures == 0
+
+    def test_stats_rows_seen(self, clean_site, taobao_platform):
+        crawler = Crawler(clean_site)
+        crawler.crawl()
+        expected = (
+            len(taobao_platform.shops)
+            + len(taobao_platform.items)
+            + taobao_platform.n_comments
+        )
+        assert crawler.stats.rows_seen == expected
+
+
+class TestBudgets:
+    def test_max_shops(self, clean_site):
+        result = Crawler(clean_site, max_shops=3).crawl()
+        assert len(result.shops) == 3
+
+    def test_max_items(self, clean_site):
+        result = Crawler(clean_site, max_items=10).crawl()
+        assert len(result.items) == 10
+        item_ids = {item.item_id for item in result.items}
+        assert all(c.item_id in item_ids for c in result.comments)
+
+
+class TestFlakyCrawl:
+    def test_retries_recover_data(self, flaky_site, taobao_platform):
+        crawler = Crawler(flaky_site, max_retries=8)
+        result = crawler.crawl()
+        assert crawler.stats.retries > 0
+        # With generous retries nearly everything is recovered.
+        assert len(result.items) >= 0.95 * len(taobao_platform.items)
+
+    def test_backoff_accounted(self, flaky_site):
+        crawler = Crawler(flaky_site, max_retries=8, backoff_base_seconds=1.0)
+        crawler.crawl()
+        assert crawler.stats.simulated_backoff_seconds >= crawler.stats.retries
+
+    def test_zero_retries_records_failures(self, taobao_platform):
+        site = PlatformWebsite(
+            taobao_platform, failure_rate=0.5, duplicate_rate=0.0, seed=2
+        )
+        crawler = Crawler(site, max_retries=0)
+        crawler.crawl()
+        assert crawler.stats.failures > 0
+
+    def test_duplicates_present_in_raw_crawl(self, flaky_site):
+        result = Crawler(flaky_site, max_retries=8).crawl()
+        comment_ids = [c.comment_id for c in result.comments]
+        # Raw crawl output may contain duplicates (cleaning is separate).
+        assert len(comment_ids) >= len(set(comment_ids))
+
+    def test_stats_as_dict_keys(self, flaky_site):
+        crawler = Crawler(flaky_site)
+        crawler.crawl()
+        stats = crawler.stats.as_dict()
+        assert {"requests", "retries", "failures", "pages_fetched"} <= set(
+            stats
+        )
+
+
+class TestRateLimiting:
+    def test_rate_limited_crawl_accounts_wait_time(self, clean_site):
+        crawler = Crawler(clean_site, requests_per_second=2.0)
+        crawler.crawl()
+        # Bucket burst is 5; all further requests must wait.
+        expected_waits = max(0, crawler.stats.requests - 5)
+        assert crawler.stats.simulated_ratelimit_seconds == pytest.approx(
+            expected_waits / 2.0, rel=0.01
+        )
+
+    def test_unlimited_crawl_waits_nothing(self, clean_site):
+        crawler = Crawler(clean_site)
+        crawler.crawl()
+        assert crawler.stats.simulated_ratelimit_seconds == 0.0
+
+    def test_same_data_collected_under_limit(
+        self, clean_site, taobao_platform
+    ):
+        result = Crawler(clean_site, requests_per_second=50.0).crawl()
+        assert len(result.comments) == taobao_platform.n_comments

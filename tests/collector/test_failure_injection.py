@@ -1,0 +1,162 @@
+"""Failure-injection tests for the collector.
+
+The simulated website only produces well-formed rows; a real crawl does
+not.  These tests drive the crawler against stub sites that emit
+malformed rows, permanently failing endpoints, and empty platforms, and
+assert the crawler degrades gracefully instead of crashing or silently
+corrupting data.
+"""
+
+import pytest
+
+from repro.collector.crawler import Crawler
+from repro.collector.storage import DatasetStore
+from repro.ecommerce.website import TransientHTTPError
+
+
+class StubSite:
+    """A minimal website facade with injectable pathologies."""
+
+    def __init__(
+        self,
+        shop_rows=None,
+        item_rows=None,
+        comment_rows=None,
+        fail_comments_for=frozenset(),
+    ):
+        self.shop_rows = shop_rows or []
+        self.item_rows = item_rows or {}
+        self.comment_rows = comment_rows or {}
+        self.fail_comments_for = fail_comments_for
+
+    @staticmethod
+    def _page(rows, page, size=100):
+        start = page * size
+        return {
+            "page": page,
+            "page_size": size,
+            "total": len(rows),
+            "has_more": start + size < len(rows),
+            "rows": rows[start : start + size],
+        }
+
+    def get_shops(self, page=0):
+        return self._page(self.shop_rows, page)
+
+    def get_shop_items(self, shop_id, page=0):
+        return self._page(self.item_rows.get(shop_id, []), page)
+
+    def get_item_comments(self, item_id, page=0):
+        if item_id in self.fail_comments_for:
+            raise TransientHTTPError("permanently down")
+        return self._page(self.comment_rows.get(item_id, []), page)
+
+
+GOOD_SHOP = {"shop_id": 1, "shop_url": "https://x/1", "shop_name": "s"}
+GOOD_ITEM = {
+    "item_id": 10,
+    "shop_id": 1,
+    "item_name": "thing",
+    "price": 3.5,
+    "sales_volume": 9,
+}
+GOOD_COMMENT = {
+    "item_id": "10",
+    "comment_id": "100",
+    "comment_content": "haoping",
+    "nickname": "a***b",
+    "userExpValue": "200",
+    "client_information": "web",
+    "date": "2017-09-10 12:10:00",
+}
+
+
+class TestMalformedRows:
+    def test_bad_shop_rows_counted_and_skipped(self):
+        site = StubSite(
+            shop_rows=[
+                GOOD_SHOP,
+                {"shop_id": "not-a-number", "shop_url": "u", "shop_name": "n"},
+                {"shop_url": "missing-id"},
+            ],
+            item_rows={1: []},
+        )
+        crawler = Crawler(site)
+        result = crawler.crawl()
+        assert len(result.shops) == 1
+        assert crawler.stats.parse_errors == 2
+
+    def test_bad_item_rows_skipped(self):
+        site = StubSite(
+            shop_rows=[GOOD_SHOP],
+            item_rows={
+                1: [GOOD_ITEM, {**GOOD_ITEM, "price": "free!!"}]
+            },
+            comment_rows={10: []},
+        )
+        crawler = Crawler(site)
+        result = crawler.crawl()
+        assert len(result.items) == 1
+        assert crawler.stats.parse_errors == 1
+
+    def test_bad_comment_rows_skipped(self):
+        site = StubSite(
+            shop_rows=[GOOD_SHOP],
+            item_rows={1: [GOOD_ITEM]},
+            comment_rows={
+                10: [
+                    GOOD_COMMENT,
+                    {**GOOD_COMMENT, "userExpValue": None},
+                    {**GOOD_COMMENT, "comment_content": ""},
+                ]
+            },
+        )
+        crawler = Crawler(site)
+        result = crawler.crawl()
+        assert len(result.comments) == 1
+        assert crawler.stats.parse_errors == 2
+
+
+class TestPermanentFailures:
+    def test_dead_comment_endpoint_drops_only_that_item(self):
+        site = StubSite(
+            shop_rows=[GOOD_SHOP],
+            item_rows={
+                1: [GOOD_ITEM, {**GOOD_ITEM, "item_id": 11}]
+            },
+            comment_rows={10: [GOOD_COMMENT], 11: [GOOD_COMMENT]},
+            fail_comments_for={11},
+        )
+        crawler = Crawler(site, max_retries=2)
+        result = crawler.crawl()
+        assert len(result.items) == 2
+        # Only item 10's comments survive.
+        assert {c.item_id for c in result.comments} == {10}
+        assert crawler.stats.failures >= 1
+
+    def test_store_drops_dangling_after_partial_crawl(self):
+        site = StubSite(
+            shop_rows=[GOOD_SHOP],
+            item_rows={1: [GOOD_ITEM]},
+            comment_rows={
+                # Comment referencing an item the crawl never saw.
+                10: [GOOD_COMMENT, {**GOOD_COMMENT, "item_id": "99",
+                                    "comment_id": "101"}]
+            },
+        )
+        result = Crawler(site).crawl()
+        store = DatasetStore.from_crawl(result)
+        assert all(c.item_id == 10 for c in store.comments)
+
+
+class TestEmptyPlatform:
+    def test_empty_site_yields_empty_result(self):
+        crawler = Crawler(StubSite())
+        result = crawler.crawl()
+        assert result.shops == []
+        assert result.items == []
+        assert result.comments == []
+
+    def test_store_of_empty_crawl(self):
+        store = DatasetStore.from_crawl(Crawler(StubSite()).crawl())
+        assert store.crawled_items() == []

@@ -1,0 +1,63 @@
+"""Tests for repro.collector.ratelimit."""
+
+import pytest
+
+from repro.collector.ratelimit import TokenBucket
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+    def test_bad_burst(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_negative_advance(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0).advance(-1.0)
+
+
+class TestAcquire:
+    def test_burst_is_free(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        waits = [bucket.acquire() for __ in range(3)]
+        assert waits == [0.0, 0.0, 0.0]
+
+    def test_beyond_burst_waits(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == pytest.approx(0.5)
+
+    def test_sustained_rate_honoured(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        for __ in range(101):
+            bucket.acquire()
+        # 100 waited requests at 10 rps ~= 10 simulated seconds.
+        assert bucket.effective_rate() == pytest.approx(10.0, rel=0.02)
+
+    def test_idle_time_refills(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        bucket.acquire()
+        bucket.acquire()
+        bucket.advance(2.0)  # refill both tokens
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+
+    def test_bucket_does_not_overfill(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        bucket.advance(100.0)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+
+    def test_counters(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        bucket.acquire()
+        bucket.acquire()
+        assert bucket.requests == 2
+        assert bucket.waited_seconds == pytest.approx(1.0)
+
+    def test_effective_rate_zero_before_time(self):
+        assert TokenBucket(rate=1.0).effective_rate() == 0.0

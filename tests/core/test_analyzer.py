@@ -1,0 +1,65 @@
+"""Tests for repro.core.analyzer."""
+
+import pytest
+
+from repro.text.segmentation import ViterbiSegmenter
+
+
+class TestTrainedAnalyzer:
+    def test_components_present(self, analyzer):
+        assert isinstance(analyzer.segmenter, ViterbiSegmenter)
+        assert analyzer.word2vec is not None
+        assert analyzer.sentiment is not None
+        assert analyzer.lexicon.sizes[0] > 0
+
+    def test_segment_passthrough(self, analyzer):
+        words = analyzer.segment("haoping,zan!")
+        assert words == ["haoping", "zan"]
+
+    def test_comment_sentiment_range(self, analyzer, language, rng):
+        from repro.ecommerce.language import PROMO_STYLE
+
+        text, __ = language.generate_comment(PROMO_STYLE, rng)
+        score = analyzer.comment_sentiment(text)
+        assert 0.0 <= score <= 1.0
+
+    def test_promo_scores_higher_than_complaint(self, analyzer, language, rng):
+        from repro.ecommerce.language import (
+            ORGANIC_NEGATIVE_STYLE,
+            PROMO_STYLE,
+        )
+
+        import numpy as np
+
+        promo = [
+            analyzer.comment_sentiment(
+                language.generate_comment(PROMO_STYLE, rng)[0]
+            )
+            for __ in range(20)
+        ]
+        complaint = [
+            analyzer.comment_sentiment(
+                language.generate_comment(ORGANIC_NEGATIVE_STYLE, rng)[0]
+            )
+            for __ in range(20)
+        ]
+        assert np.mean(promo) > np.mean(complaint)
+
+    def test_word2vec_vocabulary_from_corpus(self, analyzer, language):
+        # High-frequency positive seeds must be in the trained vocab.
+        assert language.positive_seeds[0] in analyzer.word2vec
+
+
+class TestTrainValidation:
+    def test_train_rejects_empty_sentiment_corpus(self, language):
+        from repro.core.analyzer import SemanticAnalyzer
+
+        with pytest.raises(ValueError):
+            SemanticAnalyzer.train(
+                comment_corpus=["haoping"],
+                dictionary=language.dictionary_weights(),
+                sentiment_documents=[],
+                sentiment_labels=[],
+                positive_seeds=language.positive_seeds[:2],
+                negative_seeds=language.negative_seeds[:2],
+            )

@@ -1,0 +1,40 @@
+"""Tests for repro.core.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    CATSConfig,
+    DetectorConfig,
+    LexiconConfig,
+    RuleConfig,
+    Word2VecConfig,
+)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = CATSConfig()
+        assert config.lexicon.max_size == 200
+        assert config.rules.min_sales_volume == 5
+        assert config.detector.classifier == "xgboost"
+
+    def test_frozen(self):
+        config = CATSConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.detector = DetectorConfig()
+
+    def test_sub_configs_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            LexiconConfig().max_size = 1
+
+    def test_composable(self):
+        config = CATSConfig(
+            word2vec=Word2VecConfig(dim=16),
+            rules=RuleConfig(min_sales_volume=10),
+        )
+        assert config.word2vec.dim == 16
+        assert config.rules.min_sales_volume == 10
+        # Untouched sections keep defaults.
+        assert config.detector.classifier == "xgboost"

@@ -1,0 +1,138 @@
+"""Tests for repro.core.detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig, RuleConfig
+from repro.core.detector import CLASSIFIER_FACTORIES, Detector
+from repro.core.features import FEATURE_NAMES, N_FEATURES
+
+
+class FakeItem:
+    def __init__(self, sales_volume=10, n_comments=3):
+        self.sales_volume = sales_volume
+        self.comment_texts = ["t"] * n_comments
+
+
+def make_training_data(rng, n=300):
+    """Synthetic 11-feature data with a simple fraud signal."""
+    X = rng.normal(size=(n, N_FEATURES)) + 2.0
+    y = (X[:, 0] + X[:, 3] > 4.0).astype(int)
+    # Ensure positive evidence columns are positive so rules pass.
+    X[:, FEATURE_NAMES.index("averagePositiveNumber")] = np.abs(
+        X[:, FEATURE_NAMES.index("averagePositiveNumber")]
+    ) + 0.1
+    return X, y
+
+
+class TestConfig:
+    def test_unknown_classifier(self):
+        with pytest.raises(ValueError):
+            Detector(DetectorConfig(classifier="lightgbm"))
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            Detector(DetectorConfig(threshold=1.0))
+
+    def test_all_six_candidates_available(self):
+        assert set(CLASSIFIER_FACTORIES) == {
+            "xgboost",
+            "svm",
+            "adaboost",
+            "neural_network",
+            "decision_tree",
+            "naive_bayes",
+        }
+
+
+class TestFit:
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+    def test_each_classifier_trains(self, name, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(classifier=name)).fit(X, y)
+        proba = detector.predict_proba(X[:10])
+        assert proba.shape == (10,)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Detector().predict_proba(np.zeros((1, N_FEATURES)))
+
+    def test_scaler_applied_for_svm(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(classifier="svm")).fit(X, y)
+        assert detector._scaler is not None
+
+    def test_no_scaler_for_trees(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(classifier="xgboost")).fit(X, y)
+        assert detector._scaler is None
+
+
+class TestDetect:
+    def test_filtered_items_not_reported(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(
+            DetectorConfig(classifier="xgboost", threshold=0.5)
+        ).fit(X, y)
+        items = [FakeItem(sales_volume=1), FakeItem(sales_volume=10)]
+        feats = X[:2].copy()
+        report = detector.detect(items, feats)
+        assert not report.passed_filter[0]
+        assert not report.is_fraud[0]
+        assert report.fraud_probability[0] == 0.0
+
+    def test_report_fields_aligned(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector().fit(X, y)
+        items = [FakeItem() for __ in range(6)]
+        report = detector.detect(items, X[:6])
+        assert report.is_fraud.shape == (6,)
+        assert report.fraud_probability.shape == (6,)
+        assert report.passed_filter.shape == (6,)
+
+    def test_threshold_monotone(self, rng):
+        X, y = make_training_data(rng)
+        low = Detector(DetectorConfig(threshold=0.2)).fit(X, y)
+        high = Detector(DetectorConfig(threshold=0.9)).fit(X, y)
+        items = [FakeItem() for __ in range(60)]
+        n_low = low.detect(items, X[:60]).n_reported
+        n_high = high.detect(items, X[:60]).n_reported
+        assert n_high <= n_low
+
+    def test_reported_indices_sorted_by_probability(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(threshold=0.3)).fit(X, y)
+        items = [FakeItem() for __ in range(50)]
+        report = detector.detect(items, X[:50])
+        order = report.reported_indices()
+        probs = report.fraud_probability[order]
+        assert np.all(np.diff(probs) <= 1e-12)
+
+    def test_filter_report_included(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector().fit(X, y)
+        items = [FakeItem(sales_volume=1), FakeItem()]
+        report = detector.detect(items, X[:2])
+        assert report.filter_report["filtered_low_sales"] == 1
+
+
+class TestImportances:
+    def test_gbdt_importances(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(classifier="xgboost")).fit(X, y)
+        imp = detector.feature_importances()
+        assert imp is not None
+        assert imp.shape == (N_FEATURES,)
+
+    def test_tree_importances(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(classifier="decision_tree")).fit(
+            X, y
+        )
+        assert detector.feature_importances() is not None
+
+    def test_svm_has_no_split_importances(self, rng):
+        X, y = make_training_data(rng)
+        detector = Detector(DetectorConfig(classifier="svm")).fit(X, y)
+        assert detector.feature_importances() is None

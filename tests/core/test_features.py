@@ -1,0 +1,176 @@
+"""Tests for repro.core.features (the 11 Table II features)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, N_FEATURES, FeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def extractor(analyzer):
+    return FeatureExtractor(analyzer)
+
+
+def idx(name):
+    return FEATURE_NAMES.index(name)
+
+
+class TestFeatureNames:
+    def test_eleven_features(self):
+        assert N_FEATURES == 11
+        assert len(FEATURE_NAMES) == 11
+
+    def test_paper_names_present(self):
+        for name in (
+            "averagePositiveNumber",
+            "averagePositive/NegativeNumber",
+            "uniqueWordRatio",
+            "averageSentiment",
+            "averageCommentEntropy",
+            "averageCommentLength",
+            "sumCommentLength",
+            "sumPunctuationNumber",
+            "averagePunctuationRatio",
+            "averageNgramNumber",
+            "averageNgramRatio",
+        ):
+            assert name in FEATURE_NAMES
+
+
+class TestExtract:
+    def test_vector_shape(self, extractor):
+        vec = extractor.extract(["haoping!"])
+        assert vec.shape == (N_FEATURES,)
+
+    def test_empty_item_is_zero_vector(self, extractor):
+        np.testing.assert_array_equal(
+            extractor.extract([]), np.zeros(N_FEATURES)
+        )
+
+    def test_all_finite(self, extractor, language, rng):
+        from repro.ecommerce.language import PROMO_STYLE
+
+        comments = [
+            language.generate_comment(PROMO_STYLE, rng)[0] for __ in range(5)
+        ]
+        vec = extractor.extract(comments)
+        assert np.all(np.isfinite(vec))
+
+    def test_sum_comment_length_counts_words(self, extractor, analyzer):
+        text = "haoping"
+        words = analyzer.segment(text)
+        vec = extractor.extract([text, text])
+        assert vec[idx("sumCommentLength")] == 2 * len(words)
+
+    def test_average_comment_length(self, extractor):
+        vec = extractor.extract(["haoping", "haoping"])
+        assert vec[idx("averageCommentLength")] == pytest.approx(
+            vec[idx("sumCommentLength")] / 2
+        )
+
+    def test_punctuation_counted(self, extractor):
+        clean = extractor.extract(["haoping"])
+        noisy = extractor.extract(["haoping,,!"])
+        assert (
+            noisy[idx("sumPunctuationNumber")]
+            > clean[idx("sumPunctuationNumber")]
+        )
+        assert noisy[idx("sumPunctuationNumber")] == 3.0
+
+    def test_positive_number_uses_lexicon(self, extractor, analyzer):
+        positive_word = next(iter(analyzer.lexicon.positive))
+        vec = extractor.extract([positive_word])
+        assert vec[idx("averagePositiveNumber")] >= 1.0
+
+    def test_positive_number_counts_distinct(self, extractor, analyzer):
+        positive_word = next(iter(analyzer.lexicon.positive))
+        once = extractor.extract([positive_word])
+        thrice = extractor.extract([positive_word * 3])
+        # Set semantics: repeating the same positive word does not
+        # increase the distinct count.
+        assert thrice[idx("averagePositiveNumber")] == pytest.approx(
+            once[idx("averagePositiveNumber")], abs=1.0
+        )
+
+    def test_pos_neg_difference_absolute(self, extractor, analyzer):
+        pos = next(iter(analyzer.lexicon.positive))
+        neg = next(iter(analyzer.lexicon.negative))
+        vec = extractor.extract([neg])
+        assert vec[idx("averagePositive/NegativeNumber")] >= 0.0
+        both = extractor.extract([pos + neg])
+        assert both[idx("averagePositive/NegativeNumber")] >= 0.0
+
+    def test_unique_word_ratio_bounds(self, extractor, language, rng):
+        from repro.ecommerce.language import PROMO_STYLE
+
+        comments = [
+            language.generate_comment(PROMO_STYLE, rng)[0] for __ in range(3)
+        ]
+        vec = extractor.extract(comments)
+        assert 0.0 < vec[idx("uniqueWordRatio")] <= 1.0
+
+    def test_sentiment_in_unit_interval(self, extractor, language, rng):
+        from repro.ecommerce.language import ORGANIC_NEGATIVE_STYLE
+
+        comments = [
+            language.generate_comment(ORGANIC_NEGATIVE_STYLE, rng)[0]
+            for __ in range(3)
+        ]
+        vec = extractor.extract(comments)
+        assert 0.0 <= vec[idx("averageSentiment")] <= 1.0
+
+    def test_ngram_ratio_bounded_by_one(self, extractor, language, rng):
+        from repro.ecommerce.language import PROMO_STYLE
+
+        comments = [
+            language.generate_comment(PROMO_STYLE, rng)[0] for __ in range(4)
+        ]
+        vec = extractor.extract(comments)
+        assert 0.0 <= vec[idx("averageNgramRatio")] <= 1.0
+
+
+class TestBatch:
+    def test_extract_many_shape(self, extractor):
+        X = extractor.extract_many([["haoping"], ["zan", "mai"], []])
+        assert X.shape == (3, N_FEATURES)
+
+    def test_extract_many_empty(self, extractor):
+        assert extractor.extract_many([]).shape == (0, N_FEATURES)
+
+    def test_extract_many_rows_match_single(self, extractor):
+        comments = ["haoping!", "zan"]
+        X = extractor.extract_many([comments])
+        np.testing.assert_array_equal(X[0], extractor.extract(comments))
+
+    def test_extract_items_ducktyped(self, extractor, taobao_platform):
+        items = taobao_platform.items[:5]
+        X = extractor.extract_items(items)
+        assert X.shape == (5, N_FEATURES)
+
+
+class TestDiscrimination:
+    """The features must separate promo-heavy from organic items."""
+
+    def test_fraud_features_shift(
+        self, extractor, taobao_platform
+    ):
+        fraud = taobao_platform.fraud_items[:10]
+        normal = [
+            i for i in taobao_platform.normal_items if len(i.comments) >= 3
+        ][:30]
+        Xf = extractor.extract_items(fraud)
+        Xn = extractor.extract_items(normal)
+        # Paper claims: fraud items have more positive words, higher
+        # sentiment, longer comments, lower unique-word ratio.
+        assert Xf[:, idx("averagePositiveNumber")].mean() > (
+            Xn[:, idx("averagePositiveNumber")].mean()
+        )
+        assert Xf[:, idx("averageSentiment")].mean() > (
+            Xn[:, idx("averageSentiment")].mean()
+        )
+        assert Xf[:, idx("averageCommentLength")].mean() > (
+            Xn[:, idx("averageCommentLength")].mean()
+        )
+        assert Xf[:, idx("uniqueWordRatio")].mean() < (
+            Xn[:, idx("uniqueWordRatio")].mean()
+        )

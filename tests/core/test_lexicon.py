@@ -1,0 +1,78 @@
+"""Tests for repro.core.lexicon."""
+
+import pytest
+
+from repro.core.config import LexiconConfig
+from repro.core.lexicon import SentimentLexicon, build_lexicon_pair
+
+
+class TestSentimentLexicon:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            SentimentLexicon(
+                positive=frozenset({"a", "b"}), negative=frozenset({"b"})
+            )
+
+    def test_sizes(self):
+        lex = SentimentLexicon(
+            positive=frozenset({"a", "b"}), negative=frozenset({"c"})
+        )
+        assert lex.sizes == (2, 1)
+
+    def test_polarity(self):
+        lex = SentimentLexicon(
+            positive=frozenset({"a"}), negative=frozenset({"b"})
+        )
+        assert lex.polarity("a") == 1
+        assert lex.polarity("b") == -1
+        assert lex.polarity("c") == 0
+
+
+class TestBuildLexiconPair:
+    def test_built_from_analyzer_model(self, analyzer, language):
+        """The trained analyzer's lexicon is pure and contains variants."""
+        lexicon = analyzer.lexicon
+        n_pos, n_neg = lexicon.sizes
+        assert n_pos > 20
+        assert n_neg > 20
+        # Purity: the majority of the expanded positive set is truly
+        # positive in the generating language.
+        purity = len(lexicon.positive & language.positive_set) / n_pos
+        assert purity > 0.55
+
+    def test_discovers_typo_variants(self, analyzer, language):
+        """The paper's headline lexicon finding (Table I homographs)."""
+        found = {
+            w
+            for w in analyzer.lexicon.positive | analyzer.lexicon.negative
+            if w in language.variant_map
+        }
+        assert found, "expansion should surface typo variants"
+
+    def test_no_overlap_guaranteed(self, analyzer):
+        assert not analyzer.lexicon.positive & analyzer.lexicon.negative
+
+    def test_max_size_respected(self, analyzer, small_config):
+        n_pos, n_neg = analyzer.lexicon.sizes
+        assert n_pos <= small_config.lexicon.max_size
+        assert n_neg <= small_config.lexicon.max_size
+
+    def test_seeds_present(self, analyzer, language):
+        for seed in language.positive_seeds[:3]:
+            assert seed in analyzer.lexicon.positive
+
+    def test_unknown_seed_handling(self, analyzer):
+        from repro.semantics.similarity import expand_lexicon
+
+        with pytest.raises(ValueError):
+            expand_lexicon(analyzer.word2vec, ["notarealword"])
+
+    def test_contested_words_assigned_to_one_side(self, analyzer, language):
+        # Rebuild with permissive thresholds to force contested words.
+        lexicon = build_lexicon_pair(
+            analyzer.word2vec,
+            language.positive_seeds[:3],
+            language.negative_seeds[:3],
+            LexiconConfig(k_neighbors=10, max_size=60, min_similarity=0.1),
+        )
+        assert not lexicon.positive & lexicon.negative

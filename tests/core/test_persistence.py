@@ -1,0 +1,139 @@
+"""Tests for repro.core.persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import CATSConfig, DetectorConfig
+from repro.core.persistence import (
+    PersistenceError,
+    load_cats,
+    save_cats,
+)
+from repro.core.system import CATS
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory, trained_cats):
+    path = tmp_path_factory.mktemp("cats_archive")
+    save_cats(trained_cats, path)
+    return path
+
+
+class TestSave:
+    def test_files_written(self, archive):
+        for name in (
+            "manifest.json",
+            "segmenter.json",
+            "word2vec.npz",
+            "word2vec_vocab.json",
+            "sentiment.npz",
+            "sentiment_vocab.json",
+            "lexicon.json",
+            "detector.json",
+            "detector.npz",
+        ):
+            assert (archive / name).exists(), name
+
+    def test_manifest_version(self, archive):
+        manifest = json.loads((archive / "manifest.json").read_text())
+        assert manifest["format_version"] == 1
+        assert "config" in manifest
+
+    def test_unfitted_detector_rejected(self, analyzer, tmp_path):
+        cats = CATS(analyzer)
+        with pytest.raises((PersistenceError, RuntimeError)):
+            save_cats(cats, tmp_path / "x")
+
+    def test_unsupported_classifier_rejected(
+        self, analyzer, d0_small, tmp_path
+    ):
+        config = CATSConfig(detector=DetectorConfig(classifier="naive_bayes"))
+        cats = CATS(analyzer, config=config)
+        cats.fit(d0_small.items[:100], d0_small.labels[:100])
+        with pytest.raises(PersistenceError):
+            save_cats(cats, tmp_path / "x")
+
+
+class TestLoad:
+    def test_roundtrip_predictions_identical(
+        self, archive, trained_cats, d0_small
+    ):
+        loaded = load_cats(archive)
+        items = d0_small.items[:40]
+        original = trained_cats.detect(items)
+        restored = loaded.detect(items)
+        np.testing.assert_array_equal(original.is_fraud, restored.is_fraud)
+        np.testing.assert_allclose(
+            original.fraud_probability, restored.fraud_probability
+        )
+
+    def test_roundtrip_lexicon(self, archive, trained_cats):
+        loaded = load_cats(archive)
+        assert loaded.analyzer.lexicon.positive == (
+            trained_cats.analyzer.lexicon.positive
+        )
+        assert loaded.analyzer.lexicon.negative == (
+            trained_cats.analyzer.lexicon.negative
+        )
+
+    def test_roundtrip_sentiment_scores(self, archive, trained_cats):
+        loaded = load_cats(archive)
+        text = "haopingzan!"
+        assert loaded.analyzer.comment_sentiment(text) == pytest.approx(
+            trained_cats.analyzer.comment_sentiment(text)
+        )
+
+    def test_roundtrip_word2vec_neighbors(self, archive, trained_cats):
+        loaded = load_cats(archive)
+        seed = next(iter(trained_cats.analyzer.lexicon.positive))
+        if seed in trained_cats.analyzer.word2vec:
+            a = trained_cats.analyzer.word2vec.most_similar(seed, k=5)
+            b = loaded.analyzer.word2vec.most_similar(seed, k=5)
+            assert [w for w, __ in a] == [w for w, __ in b]
+
+    def test_roundtrip_config(self, archive, trained_cats):
+        loaded = load_cats(archive)
+        assert loaded.config == trained_cats.config
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_cats(tmp_path / "nothing")
+
+    def test_bad_version_rejected(self, archive, tmp_path):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(archive, broken)
+        manifest = json.loads((broken / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (broken / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError):
+            load_cats(broken)
+
+    def test_corrupt_arrays_detected(self, archive, tmp_path):
+        import shutil
+
+        broken = tmp_path / "corrupt"
+        shutil.copytree(archive, broken)
+        vocab = json.loads((broken / "word2vec_vocab.json").read_text())
+        vocab["words"] = vocab["words"][:3]
+        vocab["counts"] = vocab["counts"][:3]
+        (broken / "word2vec_vocab.json").write_text(json.dumps(vocab))
+        with pytest.raises(PersistenceError):
+            load_cats(broken)
+
+
+class TestSvmRoundtrip:
+    def test_svm_detector_roundtrip(self, analyzer, d0_small, tmp_path):
+        config = CATSConfig(detector=DetectorConfig(classifier="svm"))
+        cats = CATS(analyzer, config=config)
+        cats.fit(d0_small.items[:200], d0_small.labels[:200])
+        save_cats(cats, tmp_path / "svm")
+        loaded = load_cats(tmp_path / "svm")
+        items = d0_small.items[:20]
+        np.testing.assert_allclose(
+            cats.detect(items).fraud_probability,
+            loaded.detect(items).fraud_probability,
+        )

@@ -1,0 +1,91 @@
+"""Tests for repro.core.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    EvaluationResult,
+    audit_reported_items,
+    evaluate_on_dataset,
+    run_crawl,
+)
+from repro.datasets.builders import build_d1
+
+
+class TestEvaluationResult:
+    def test_rows_without_evidence(self):
+        result = EvaluationResult(
+            precision=0.9, recall=0.8, f1=0.85, n_reported=10, n_true_fraud=9
+        )
+        rows = result.rows()
+        assert len(rows) == 1
+        assert rows[0][0] == "the overall fraud items"
+
+    def test_rows_with_evidence(self):
+        result = EvaluationResult(
+            precision=0.9,
+            recall=0.8,
+            f1=0.85,
+            n_reported=10,
+            n_true_fraud=9,
+            evidenced_precision=0.85,
+            evidenced_recall=0.9,
+            evidenced_f1=0.87,
+        )
+        assert len(result.rows()) == 2
+
+
+class TestEvaluateOnDataset:
+    def test_metrics_in_range(self, trained_cats, language):
+        d1 = build_d1(language, scale=0.0004, seed=77)
+        result, report = evaluate_on_dataset(trained_cats, d1)
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert result.n_true_fraud == d1.n_fraud
+        assert report.is_fraud.shape == (len(d1),)
+
+    def test_evidence_rows_when_present(self, trained_cats, language):
+        d1 = build_d1(language, scale=0.0004, seed=77)
+        result, __ = evaluate_on_dataset(trained_cats, d1)
+        if d1.evidence_mask.any():
+            assert result.evidenced_precision is not None
+
+
+class TestRunCrawl:
+    def test_crawl_produces_store(self, eplatform):
+        store, crawler = run_crawl(eplatform, failure_rate=0.01, seed=4)
+        assert store.summary()["items"] == len(eplatform.items)
+        assert crawler.stats.requests > 0
+
+    def test_max_items_cap(self, eplatform):
+        store, __ = run_crawl(eplatform, max_items=7, seed=4)
+        assert store.summary()["items"] == 7
+
+
+class TestAudit:
+    def test_audit_counts(self, trained_cats, eplatform):
+        from repro.analysis.adapters import crawled_view
+
+        crawled = crawled_view(eplatform)
+        report = trained_cats.detect(crawled)
+        if report.n_reported == 0:
+            pytest.skip("nothing reported at this tiny scale")
+        audit = audit_reported_items(
+            eplatform, crawled, report, sample_size=50, seed=1
+        )
+        assert audit["n_audited"] <= 50
+        assert 0.0 <= audit["audit_precision"] <= 1.0
+        assert audit["n_confirmed"] <= audit["n_audited"]
+
+    def test_audit_requires_reports(self, trained_cats, eplatform):
+        from repro.analysis.adapters import crawled_view
+        from repro.core.detector import DetectionReport
+
+        crawled = crawled_view(eplatform)[:3]
+        empty = DetectionReport(
+            is_fraud=np.zeros(3, dtype=bool),
+            fraud_probability=np.zeros(3),
+            passed_filter=np.ones(3, dtype=bool),
+        )
+        with pytest.raises(ValueError):
+            audit_reported_items(eplatform, crawled, empty)

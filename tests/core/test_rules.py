@@ -1,0 +1,89 @@
+"""Tests for repro.core.rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RuleConfig
+from repro.core.features import FEATURE_NAMES, N_FEATURES
+from repro.core.rules import RuleFilter
+
+
+class FakeItem:
+    def __init__(self, sales_volume, n_comments):
+        self.sales_volume = sales_volume
+        self.comment_texts = ["text"] * n_comments
+
+
+def features(positive=1.0, ngrams=1.0):
+    vec = np.zeros(N_FEATURES)
+    vec[FEATURE_NAMES.index("averagePositiveNumber")] = positive
+    vec[FEATURE_NAMES.index("averageNgramNumber")] = ngrams
+    return vec
+
+
+class TestPasses:
+    def test_healthy_item_passes(self):
+        rule = RuleFilter()
+        assert rule.passes(10, 3, features())
+
+    def test_low_sales_filtered(self):
+        rule = RuleFilter()
+        assert not rule.passes(4, 3, features())
+
+    def test_sales_boundary_inclusive(self):
+        rule = RuleFilter(RuleConfig(min_sales_volume=5))
+        assert rule.passes(5, 3, features())
+
+    def test_no_comments_filtered(self):
+        rule = RuleFilter()
+        assert not rule.passes(10, 0, features())
+
+    def test_no_positive_evidence_filtered(self):
+        rule = RuleFilter()
+        assert not rule.passes(10, 3, features(positive=0.0, ngrams=0.0))
+
+    def test_positive_words_alone_suffice(self):
+        rule = RuleFilter()
+        assert rule.passes(10, 3, features(positive=1.0, ngrams=0.0))
+
+    def test_positive_ngrams_alone_suffice(self):
+        rule = RuleFilter()
+        assert rule.passes(10, 3, features(positive=0.0, ngrams=1.0))
+
+    def test_evidence_rule_can_be_disabled(self):
+        rule = RuleFilter(RuleConfig(require_positive_evidence=False))
+        assert rule.passes(10, 3, features(positive=0.0, ngrams=0.0))
+
+
+class TestMask:
+    def test_mask_alignment(self):
+        rule = RuleFilter()
+        items = [FakeItem(10, 3), FakeItem(1, 3), FakeItem(10, 3)]
+        X = np.vstack([features(), features(), features(0.0, 0.0)])
+        mask = rule.mask(items, X)
+        assert mask.tolist() == [True, False, False]
+
+    def test_mask_length_mismatch(self):
+        rule = RuleFilter()
+        with pytest.raises(ValueError):
+            rule.mask([FakeItem(10, 1)], np.zeros((2, N_FEATURES)))
+
+
+class TestFilterReport:
+    def test_counts_partition_items(self):
+        rule = RuleFilter()
+        items = [
+            FakeItem(1, 3),     # low sales
+            FakeItem(10, 0),    # no comments
+            FakeItem(10, 2),    # no positive evidence (features zeroed)
+            FakeItem(10, 2),    # passes
+        ]
+        X = np.vstack(
+            [features(), features(), features(0.0, 0.0), features()]
+        )
+        report = rule.filter_report(items, X)
+        assert report["filtered_low_sales"] == 1
+        assert report["filtered_no_comments"] == 1
+        assert report["filtered_no_positive_evidence"] == 1
+        assert report["passed"] == 1
+        assert sum(report.values()) == len(items)

@@ -1,0 +1,160 @@
+"""Tests for repro.core.streaming."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adapters import comment_records_for_item
+from repro.core.streaming import StreamingDetector
+
+
+@pytest.fixture()
+def stream(trained_cats):
+    return StreamingDetector(trained_cats, rescore_growth=1.0)
+
+
+def records_for(platform, item):
+    return comment_records_for_item(platform, item)
+
+
+class TestValidation:
+    def test_bad_growth(self, trained_cats):
+        with pytest.raises(ValueError):
+            StreamingDetector(trained_cats, rescore_growth=0.5)
+
+    def test_bad_min_comments(self, trained_cats):
+        with pytest.raises(ValueError):
+            StreamingDetector(trained_cats, min_comments_to_score=0)
+
+    def test_unknown_item_rescore(self, stream):
+        with pytest.raises(KeyError):
+            stream.force_rescore(42)
+
+
+class TestIngestion:
+    def test_tracks_items(self, stream, taobao_platform):
+        item = taobao_platform.items[0]
+        for record in records_for(taobao_platform, item)[:2]:
+            stream.observe(record)
+        assert stream.n_items_tracked == 1
+
+    def test_no_score_below_min_comments(self, trained_cats, taobao_platform):
+        stream = StreamingDetector(trained_cats, min_comments_to_score=5)
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 6
+        )
+        records = records_for(taobao_platform, item)
+        for record in records[:4]:
+            stream.observe(record)
+        assert stream.probability(item.item_id) == 0.0
+
+    def test_sales_updates_monotone(self, stream):
+        stream.update_sales(7, 10)
+        stream.update_sales(7, 5)
+        assert stream._items[7].sales_volume == 10
+
+
+class TestAlerting:
+    def test_fraud_item_stream_alerts(self, trained_cats, taobao_platform):
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        # Pick the fraud item with the most comments.
+        fraud = max(
+            taobao_platform.fraud_items, key=lambda i: len(i.comments)
+        )
+        stream.update_sales(fraud.item_id, fraud.sales_volume)
+        alerts = stream.observe_many(records_for(taobao_platform, fraud))
+        assert len(alerts) == 1
+        assert alerts[0].item_id == fraud.item_id
+        assert alerts[0].fraud_probability >= (
+            trained_cats.config.detector.threshold
+        )
+
+    def test_alert_emitted_once(self, trained_cats, taobao_platform):
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        fraud = max(
+            taobao_platform.fraud_items, key=lambda i: len(i.comments)
+        )
+        stream.update_sales(fraud.item_id, fraud.sales_volume)
+        records = records_for(taobao_platform, fraud)
+        stream.observe_many(records)
+        # Feed the same stream again: no duplicate alert.
+        more = stream.observe_many(records)
+        assert more == []
+        assert len(stream.alerts) == 1
+
+    def test_normal_items_stay_quiet(self, trained_cats, taobao_platform):
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        quiet = [
+            i
+            for i in taobao_platform.normal_items
+            if 3 <= len(i.comments) <= 10
+        ][:20]
+        for item in quiet:
+            stream.update_sales(item.item_id, item.sales_volume)
+            stream.observe_many(records_for(taobao_platform, item))
+        flagged = set(stream.flagged_items())
+        assert len(flagged & {i.item_id for i in quiet}) <= 2
+
+    def test_rule_filter_blocks_low_sales(self, trained_cats, taobao_platform):
+        """An item whose sales stay below the rule threshold never alerts,
+        however fraudulent its comments look."""
+        from repro.collector.records import CommentRecord
+
+        fraud = max(
+            taobao_platform.fraud_items, key=lambda i: len(i.comments)
+        )
+        records = records_for(taobao_platform, fraud)[:4]
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        alerts = stream.observe_many(records)
+        # 4 comments => inferred sales 4 < rule minimum 5.
+        assert alerts == []
+
+
+class TestRescorePolicy:
+    def test_growth_factor_limits_scoring(self, trained_cats, taobao_platform):
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 8
+        )
+        records = records_for(taobao_platform, item)
+
+        calls = []
+        lazy = StreamingDetector(
+            trained_cats, rescore_growth=2.0, min_comments_to_score=3
+        )
+        original = lazy._score
+
+        def counting_score(item_id, state, trigger):
+            calls.append(item_id)
+            return original(item_id, state, trigger)
+
+        lazy._score = counting_score
+        lazy.observe_many(records[:8])
+        # Scorings at sizes 3, 6 (>= 2x3); not on every comment.
+        assert len(calls) <= 3
+
+    def test_force_rescore_returns_probability(
+        self, stream, taobao_platform
+    ):
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 3
+        )
+        stream.observe_many(records_for(taobao_platform, item))
+        p = stream.force_rescore(item.item_id)
+        assert 0.0 <= p <= 1.0
+        assert stream.probability(item.item_id) == p
+
+    def test_streaming_matches_batch_score(
+        self, trained_cats, taobao_platform
+    ):
+        """After the full stream, the score equals batch detection."""
+        item = max(
+            taobao_platform.fraud_items, key=lambda i: len(i.comments)
+        )
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        stream.update_sales(item.item_id, item.sales_volume)
+        stream.observe_many(records_for(taobao_platform, item))
+        streamed = stream.force_rescore(item.item_id)
+        features = trained_cats.extract_features([item])
+        batch = float(
+            trained_cats.detector.predict_proba(features)[0]
+        )
+        assert streamed == pytest.approx(batch)

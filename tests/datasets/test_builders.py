@@ -1,0 +1,108 @@
+"""Tests for repro.datasets.builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.builders import (
+    LabeledDataset,
+    PAPER_D0,
+    PAPER_D1,
+    build_d0,
+    build_d1,
+    build_eplatform,
+    build_semantic_corpus,
+    default_language,
+)
+from repro.ecommerce.entities import FraudLabel
+
+
+class TestLabeledDataset:
+    def test_length_mismatch_rejected(self, d0_small):
+        with pytest.raises(ValueError):
+            LabeledDataset("x", d0_small.items[:3], np.array([0, 1]))
+
+    def test_counts(self, d0_small):
+        assert d0_small.n_fraud + d0_small.n_normal == len(d0_small)
+        assert d0_small.n_comments > 0
+
+    def test_summary_keys(self, d0_small):
+        assert set(d0_small.summary()) == {
+            "fraud_items",
+            "normal_items",
+            "comments",
+        }
+
+    def test_evidence_mask_subset_of_fraud(self, d0_small):
+        evidence = d0_small.evidence_mask
+        assert np.all(d0_small.labels[evidence] == 1)
+
+
+class TestBuildD0:
+    def test_scaled_class_counts(self, language):
+        d0 = build_d0(language, scale=0.01, seed=5)
+        assert d0.n_fraud == round(PAPER_D0["fraud_items"] * 0.01)
+        assert d0.n_normal == round(PAPER_D0["normal_items"] * 0.01)
+
+    def test_labels_match_items(self, d0_small):
+        for item, label in zip(d0_small.items, d0_small.labels):
+            assert item.is_fraud == bool(label)
+
+    def test_deterministic(self, language):
+        a = build_d0(language, scale=0.005, seed=5)
+        b = build_d0(language, scale=0.005, seed=5)
+        assert [i.item_id for i in a.items] == [i.item_id for i in b.items]
+
+    def test_shuffled_classes(self, d0_small):
+        # Items must not be sorted fraud-first.
+        first_half_fraud = d0_small.labels[: len(d0_small) // 2].mean()
+        assert 0.05 < first_half_fraud < 0.95
+
+
+class TestBuildD1:
+    @pytest.fixture(scope="class")
+    def d1(self, language):
+        return build_d1(language, scale=0.0005, seed=6)
+
+    def test_heavy_imbalance(self, d1):
+        rate = d1.n_fraud / len(d1)
+        paper_rate = PAPER_D1["fraud_items"] / (
+            PAPER_D1["fraud_items"] + PAPER_D1["normal_items"]
+        )
+        assert rate == pytest.approx(paper_rate, rel=0.8)
+
+    def test_evidence_split(self, d1):
+        labels = {item.label for item in d1.items if item.is_fraud}
+        assert FraudLabel.EVIDENCED in labels
+
+    def test_whole_platform_included(self, d1, language):
+        from repro.ecommerce.profiles import taobao_profile
+
+        assert len(d1) == taobao_profile().scaled(0.0005).n_items
+
+
+class TestBuildEplatform:
+    def test_distinct_ids_from_taobao(self, language):
+        ep = build_eplatform(language, scale=0.0001, seed=7)
+        d1 = build_d1(language, scale=0.0005, seed=6)
+        ep_ids = {item.item_id for item in ep.items}
+        d1_ids = {item.item_id for item in d1.items}
+        assert not ep_ids & d1_ids
+
+    def test_platform_name(self, language):
+        ep = build_eplatform(language, scale=0.0001, seed=7)
+        assert ep.name == "eplatform-sim"
+
+
+class TestCorpusBuilders:
+    def test_semantic_corpus_size(self, language):
+        corpus = build_semantic_corpus(language, n_comments=50, seed=1)
+        assert len(corpus) == 50
+        assert all(isinstance(c, str) and c for c in corpus)
+
+    def test_semantic_corpus_deterministic(self, language):
+        a = build_semantic_corpus(language, n_comments=20, seed=1)
+        b = build_semantic_corpus(language, n_comments=20, seed=1)
+        assert a == b
+
+    def test_default_language_singleton(self):
+        assert default_language() is default_language()

@@ -1,0 +1,47 @@
+"""Tests for repro.datasets.splits."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureExtractor, N_FEATURES
+from repro.datasets.splits import balanced_sample, features_and_labels
+
+
+class TestFeaturesAndLabels:
+    def test_shapes(self, d0_small, analyzer):
+        extractor = FeatureExtractor(analyzer)
+        X, y = features_and_labels(d0_small, extractor)
+        assert X.shape == (len(d0_small), N_FEATURES)
+        assert y.shape == (len(d0_small),)
+
+    def test_labels_copied(self, d0_small, analyzer):
+        extractor = FeatureExtractor(analyzer)
+        __, y = features_and_labels(d0_small, extractor)
+        y[0] = 1 - y[0]
+        assert d0_small.labels[0] != y[0] or True  # original unchanged
+        assert not np.shares_memory(y, d0_small.labels)
+
+
+class TestBalancedSample:
+    def test_exact_counts(self, d0_small):
+        sample = balanced_sample(d0_small, n_per_class=10, seed=0)
+        assert sample.n_fraud == 10
+        assert sample.n_normal == 10
+
+    def test_too_large_request(self, d0_small):
+        with pytest.raises(ValueError):
+            balanced_sample(d0_small, n_per_class=10**6)
+
+    def test_items_come_from_source(self, d0_small):
+        sample = balanced_sample(d0_small, n_per_class=5, seed=0)
+        source_ids = {item.item_id for item in d0_small.items}
+        assert all(item.item_id in source_ids for item in sample.items)
+
+    def test_deterministic(self, d0_small):
+        a = balanced_sample(d0_small, n_per_class=8, seed=3)
+        b = balanced_sample(d0_small, n_per_class=8, seed=3)
+        assert [i.item_id for i in a.items] == [i.item_id for i in b.items]
+
+    def test_name_tagged(self, d0_small):
+        sample = balanced_sample(d0_small, n_per_class=5, seed=0)
+        assert "balanced" in sample.name

@@ -1,0 +1,58 @@
+"""Tests for the category structure of the simulator (paper Section VI)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.ecommerce.profiles import taobao_profile
+
+
+class TestCategories:
+    def test_profile_has_eight_paper_categories(self):
+        categories = taobao_profile().categories
+        assert len(categories) == 8
+        assert "computer & office" in categories
+        assert "food & grocery" in categories
+
+    def test_every_item_categorized(self, taobao_platform):
+        valid = set(taobao_profile().categories)
+        assert all(item.category in valid for item in taobao_platform.items)
+
+    def test_shops_specialize(self, taobao_platform):
+        """All items of one shop share its category."""
+        by_shop: dict[int, set[str]] = {}
+        for item in taobao_platform.items:
+            by_shop.setdefault(item.shop_id, set()).add(item.category)
+        assert all(len(cats) == 1 for cats in by_shop.values())
+
+    def test_multiple_categories_present(self, taobao_platform):
+        counts = Counter(item.category for item in taobao_platform.items)
+        assert len(counts) >= 4
+
+    def test_comments_topically_aligned(self, taobao_platform, language):
+        """Items in different categories talk about different topics.
+
+        Comment neutral words are drawn from the category's topic slice,
+        so the topical-word overlap between two categories' comment
+        streams is low.
+        """
+        from repro.text.segmentation import ViterbiSegmenter
+
+        topical_words = set(
+            language.neutral_words[: int(0.6 * len(language.neutral_words))]
+        )
+
+        seg = ViterbiSegmenter(language.dictionary_weights())
+        cat_words: dict[str, set[str]] = {}
+        for item in taobao_platform.items:
+            bucket = cat_words.setdefault(item.category, set())
+            if len(bucket) > 250:
+                continue
+            for comment in item.comments[:4]:
+                bucket |= set(seg.segment(comment.content)) & topical_words
+        cats = [c for c, words in cat_words.items() if len(words) > 30]
+        if len(cats) < 2:
+            pytest.skip("not enough categories with data at this scale")
+        a, b = cat_words[cats[0]], cat_words[cats[1]]
+        jaccard = len(a & b) / len(a | b)
+        assert jaccard < 0.6

@@ -1,0 +1,137 @@
+"""Tests for repro.ecommerce.entities."""
+
+import pytest
+
+from repro.ecommerce.entities import (
+    Client,
+    Comment,
+    FraudLabel,
+    Item,
+    Platform,
+    Shop,
+    User,
+)
+
+
+def make_item(item_id=1, label=FraudLabel.NORMAL, n_comments=0):
+    item = Item(
+        item_id=item_id,
+        shop_id=1,
+        name="thing",
+        price=9.9,
+        sales_volume=10,
+        label=label,
+    )
+    for i in range(n_comments):
+        item.comments.append(
+            Comment(
+                comment_id=i,
+                item_id=item_id,
+                user_id=1,
+                content=f"text{i}",
+                client=Client.WEB,
+                date="2017-09-10 12:00:00",
+            )
+        )
+    return item
+
+
+class TestFraudLabel:
+    def test_normal_not_fraud(self):
+        assert not FraudLabel.NORMAL.is_fraud
+
+    def test_both_fraud_labels(self):
+        assert FraudLabel.EVIDENCED.is_fraud
+        assert FraudLabel.EXPERT.is_fraud
+
+
+class TestUser:
+    def test_anonymized_nickname(self):
+        assert User(1, "moli", 100).anonymized_nickname() == "m***i"
+
+    def test_anonymized_single_char(self):
+        assert User(1, "m", 100).anonymized_nickname() == "m***"
+
+    def test_frozen(self):
+        user = User(1, "x", 100)
+        with pytest.raises(AttributeError):
+            user.exp_value = 5
+
+
+class TestItem:
+    def test_is_fraud_follows_label(self):
+        assert make_item(label=FraudLabel.EXPERT).is_fraud
+        assert not make_item().is_fraud
+
+    def test_comment_texts(self):
+        item = make_item(n_comments=2)
+        assert item.comment_texts == ["text0", "text1"]
+
+
+class TestPlatform:
+    @pytest.fixture()
+    def platform(self):
+        items = [
+            make_item(1),
+            make_item(2, label=FraudLabel.EVIDENCED, n_comments=3),
+            make_item(3, label=FraudLabel.EXPERT, n_comments=1),
+        ]
+        users = {1: User(1, "abc", 500)}
+        shops = [Shop(1, "s", "https://x/1")]
+        return Platform(name="p", shops=shops, users=users, items=items)
+
+    def test_n_comments(self, platform):
+        assert platform.n_comments == 4
+
+    def test_fraud_normal_partition(self, platform):
+        assert len(platform.fraud_items) == 2
+        assert len(platform.normal_items) == 1
+        assert len(platform.fraud_items) + len(platform.normal_items) == len(
+            platform.items
+        )
+
+    def test_item_by_id(self, platform):
+        assert platform.item_by_id(2).label is FraudLabel.EVIDENCED
+
+    def test_item_by_id_missing(self, platform):
+        with pytest.raises(KeyError):
+            platform.item_by_id(99)
+
+    def test_user_lookup(self, platform):
+        assert platform.user(1).nickname == "abc"
+
+    def test_summary_shape(self, platform):
+        summary = platform.summary()
+        assert summary["items"] == 3
+        assert summary["fraud_items"] == 2
+        assert summary["normal_items"] == 1
+        assert summary["comments"] == 4
+        assert summary["shops"] == 1
+        assert summary["users"] == 1
+
+
+class TestGeneratedPlatformInvariants:
+    def test_comment_item_ids_consistent(self, taobao_platform):
+        for item in taobao_platform.items[:200]:
+            for comment in item.comments:
+                assert comment.item_id == item.item_id
+
+    def test_comment_users_exist(self, taobao_platform):
+        for item in taobao_platform.items[:200]:
+            for comment in item.comments:
+                assert comment.user_id in taobao_platform.users
+
+    def test_comment_ids_unique(self, taobao_platform):
+        seen = set()
+        for item in taobao_platform.items:
+            for comment in item.comments:
+                assert comment.comment_id not in seen
+                seen.add(comment.comment_id)
+
+    def test_sales_volume_at_least_comments_for_active_items(
+        self, taobao_platform
+    ):
+        for item in taobao_platform.items:
+            if item.sales_volume >= 5:
+                # Active items must have sales >= commenting orders.
+                assert item.sales_volume >= len(item.comments) * 0.5

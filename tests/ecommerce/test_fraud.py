@@ -1,0 +1,82 @@
+"""Tests for repro.ecommerce.fraud."""
+
+import numpy as np
+import pytest
+
+from repro.ecommerce.entities import User
+from repro.ecommerce.fraud import FraudCampaign, PromoterPool
+
+
+def make_promoters(n):
+    return [User(i, f"u{i}", 100, is_promoter=True) for i in range(n)]
+
+
+class TestPromoterPool:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PromoterPool([])
+
+    def test_len(self):
+        assert len(PromoterPool(make_promoters(5))) == 5
+
+    def test_cohort_size(self, rng):
+        pool = PromoterPool(make_promoters(50))
+        assert len(pool.sample_cohort(10, rng)) == 10
+
+    def test_cohort_capped_at_pool_size(self, rng):
+        pool = PromoterPool(make_promoters(5))
+        assert len(pool.sample_cohort(10, rng)) == 5
+
+    def test_bad_size(self, rng):
+        pool = PromoterPool(make_promoters(5))
+        with pytest.raises(ValueError):
+            pool.sample_cohort(0, rng)
+
+    def test_cohorts_overlap_heavily(self, rng):
+        """Contiguous-block sampling must reuse members across cohorts."""
+        pool = PromoterPool(make_promoters(60))
+        overlaps = []
+        for __ in range(30):
+            a = {u.user_id for u in pool.sample_cohort(15, rng)}
+            b = {u.user_id for u in pool.sample_cohort(15, rng)}
+            overlaps.append(len(a & b))
+        # With 60 promoters and blocks of 15 some cohort pairs must share
+        # members; uniform sampling would too, but blocks share *runs*.
+        assert max(overlaps) >= 5
+
+
+class TestFraudCampaign:
+    def test_promotion_orders_cover_all_items(self, rng):
+        cohort = tuple(make_promoters(4))
+        campaign = FraudCampaign(
+            campaign_id=1,
+            shop_id=1,
+            item_ids=(10, 11),
+            cohort=cohort,
+            orders_per_promoter_item=1.0,
+        )
+        orders = campaign.promotion_orders(rng)
+        items_seen = {item_id for item_id, __ in orders}
+        assert items_seen == {10, 11}
+
+    def test_every_cohort_member_orders(self, rng):
+        cohort = tuple(make_promoters(6))
+        campaign = FraudCampaign(1, 1, (10,), cohort, 1.0)
+        orders = campaign.promotion_orders(rng)
+        buyers = {user.user_id for __, user in orders}
+        assert buyers == {u.user_id for u in cohort}
+
+    def test_min_one_order_each(self, rng):
+        cohort = tuple(make_promoters(3))
+        campaign = FraudCampaign(1, 1, (10,), cohort, 1.0)
+        assert len(campaign.promotion_orders(rng)) >= 3
+
+    def test_higher_intensity_more_orders(self, rng):
+        cohort = tuple(make_promoters(20))
+        low = FraudCampaign(1, 1, (10,), cohort, 1.0)
+        high = FraudCampaign(2, 1, (10,), cohort, 4.0)
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        assert len(high.promotion_orders(rng2)) > len(
+            low.promotion_orders(rng1)
+        )

@@ -1,0 +1,114 @@
+"""Tests for repro.ecommerce.generator."""
+
+import numpy as np
+import pytest
+
+from repro.ecommerce.entities import FraudLabel
+from repro.ecommerce.generator import PlatformGenerator
+from repro.ecommerce.profiles import taobao_profile
+
+
+class TestGeneration:
+    def test_counts_match_profile(self, taobao_platform, language):
+        profile = taobao_profile().scaled(0.0005)
+        assert len(taobao_platform.items) == profile.n_items
+        assert len(taobao_platform.shops) == profile.n_shops
+        assert len(taobao_platform.users) == profile.n_users
+
+    def test_fraud_rate_approximate(self, taobao_platform):
+        profile = taobao_profile().scaled(0.0005)
+        rate = len(taobao_platform.fraud_items) / len(taobao_platform.items)
+        assert rate == pytest.approx(profile.fraud_item_rate, rel=0.6)
+
+    def test_fraud_items_have_promo_comments(self, taobao_platform):
+        for item in taobao_platform.fraud_items:
+            assert any(c.is_promotion for c in item.comments)
+
+    def test_normal_items_have_no_promo_comments(self, taobao_platform):
+        for item in taobao_platform.normal_items:
+            assert not any(c.is_promotion for c in item.comments)
+
+    def test_evidence_split_present(self, taobao_platform):
+        labels = {item.label for item in taobao_platform.fraud_items}
+        # With ~90% evidence fraction both labels should appear at any
+        # non-trivial scale.
+        assert FraudLabel.EVIDENCED in labels
+
+    def test_promoters_exist(self, taobao_platform):
+        promoters = [
+            u for u in taobao_platform.users.values() if u.is_promoter
+        ]
+        assert promoters
+        assert all(u.exp_value >= 100 for u in promoters)
+
+    def test_expvalue_bounds(self, taobao_platform):
+        values = [u.exp_value for u in taobao_platform.users.values()]
+        assert min(values) >= 100
+        assert max(values) <= 27_158_720
+
+    def test_promoters_have_lower_expvalue(self, taobao_platform):
+        users = taobao_platform.users.values()
+        promoter_median = np.median(
+            [u.exp_value for u in users if u.is_promoter]
+        )
+        general_median = np.median(
+            [u.exp_value for u in users if not u.is_promoter]
+        )
+        assert promoter_median < general_median
+
+    def test_promo_comments_come_from_promoters(self, taobao_platform):
+        for item in taobao_platform.fraud_items:
+            for comment in item.comments:
+                if comment.is_promotion:
+                    assert taobao_platform.user(comment.user_id).is_promoter
+
+    def test_deterministic(self, language):
+        profile = taobao_profile().scaled(0.0002)
+        a = PlatformGenerator(profile, language, seed=3).generate()
+        b = PlatformGenerator(profile, language, seed=3).generate()
+        assert a.summary() == b.summary()
+        assert a.items[0].comments == b.items[0].comments
+
+    def test_different_seeds_differ(self, language):
+        profile = taobao_profile().scaled(0.0002)
+        a = PlatformGenerator(profile, language, seed=3).generate()
+        b = PlatformGenerator(profile, language, seed=4).generate()
+        assert a.items[0].comments != b.items[0].comments
+
+    def test_id_offset_separates_platforms(self, language):
+        profile = taobao_profile().scaled(0.0002)
+        a = PlatformGenerator(profile, language, seed=3).generate()
+        b = PlatformGenerator(
+            profile, language, seed=3, id_offset=10**9
+        ).generate()
+        a_ids = {item.item_id for item in a.items}
+        b_ids = {item.item_id for item in b.items}
+        assert not a_ids & b_ids
+
+    def test_campaigns_attached(self, taobao_platform):
+        campaigns = taobao_platform.campaigns
+        assert campaigns
+        campaign_items = {
+            iid for c in campaigns for iid in c.item_ids
+        }
+        fraud_ids = {item.item_id for item in taobao_platform.fraud_items}
+        assert campaign_items == fraud_ids
+
+    def test_dead_items_exist_for_rule_filter(self, taobao_platform):
+        dead = [i for i in taobao_platform.items if i.sales_volume < 5]
+        assert dead  # the sales<5 rule must have something to filter
+
+
+class TestClientMixes:
+    def test_promo_orders_web_dominant(self, taobao_platform):
+        from collections import Counter
+
+        promo = Counter()
+        organic = Counter()
+        for item in taobao_platform.items:
+            for comment in item.comments:
+                bucket = promo if comment.is_promotion else organic
+                bucket[comment.client.value] += 1
+        assert promo and organic
+        assert max(promo, key=promo.get) == "web"
+        assert max(organic, key=organic.get) == "android"

@@ -1,0 +1,216 @@
+"""Tests for repro.ecommerce.language."""
+
+import numpy as np
+import pytest
+
+from repro.ecommerce.language import (
+    ENTHUSIAST_STYLE,
+    ORGANIC_MIX,
+    ORGANIC_NEGATIVE_STYLE,
+    ORGANIC_NEUTRAL_STYLE,
+    ORGANIC_POSITIVE_STYLE,
+    PROMO_STYLE,
+    CommentStyle,
+    StyleMix,
+    SyntheticLanguage,
+)
+from repro.text.tokenizer import PUNCTUATION, strip_punctuation
+
+
+class TestStyleValidation:
+    def test_mode_probs_cannot_exceed_one(self):
+        with pytest.raises(ValueError):
+            CommentStyle("bad", 2, 3, p_praise=0.7, p_complaint=0.5,
+                         p_duplicate=0.0)
+
+    def test_needs_at_least_one_phrase(self):
+        with pytest.raises(ValueError):
+            CommentStyle("bad", 0.5, 3, 0.1, 0.1, 0.0)
+
+
+class TestStyleMix:
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            StyleMix(styles=(PROMO_STYLE,), weights=(0.5, 0.5))
+
+    def test_draw_returns_member(self, rng):
+        style = ORGANIC_MIX.draw(rng)
+        assert style in ORGANIC_MIX.styles
+
+    def test_unweighted_mix_draws_uniformly(self, rng):
+        mix = StyleMix(styles=(PROMO_STYLE, ENTHUSIAST_STYLE))
+        names = {mix.draw(rng).name for __ in range(50)}
+        assert names == {"promo", "enthusiast"}
+
+
+class TestLexiconConstruction:
+    def test_counts(self, language):
+        assert len(language.positive_words) == 60
+        assert len(language.negative_words) == 60
+        assert len(language.neutral_words) == 220
+        assert len(language.function_words) == 40
+
+    def test_no_overlap_between_categories(self, language):
+        pos = set(language.positive_words)
+        neg = set(language.negative_words)
+        neu = set(language.neutral_words)
+        fun = set(language.function_words)
+        assert not (pos & neg or pos & neu or pos & fun)
+        assert not (neg & neu or neg & fun or neu & fun)
+
+    def test_seeds_lead_positive_list(self, language):
+        assert language.positive_words[: len(language.positive_seeds)] == (
+            language.positive_seeds
+        )
+
+    def test_variants_map_to_sources(self, language):
+        for variant, source in language.variant_map.items():
+            assert len(variant) == len(source)
+            diffs = sum(1 for a, b in zip(variant, source) if a != b)
+            assert diffs == 1
+
+    def test_variant_sets_included_in_polarity_sets(self, language):
+        pos_sources = set(language.positive_words)
+        for variant, source in language.variant_map.items():
+            if source in pos_sources:
+                assert variant in language.positive_set
+            else:
+                assert variant in language.negative_set
+
+    def test_deterministic_construction(self):
+        a = SyntheticLanguage(seed=7)
+        b = SyntheticLanguage(seed=7)
+        assert a.positive_words == b.positive_words
+        assert a.variant_map == b.variant_map
+
+    def test_different_seeds_differ(self):
+        a = SyntheticLanguage(seed=7)
+        b = SyntheticLanguage(seed=8)
+        assert a.neutral_words != b.neutral_words
+
+    def test_bad_topic_count(self):
+        with pytest.raises(ValueError):
+            SyntheticLanguage(n_topics=0)
+
+    def test_dictionary_weights_cover_all_words(self, language):
+        weights = language.dictionary_weights()
+        assert set(weights) == set(language.all_words())
+        assert all(w >= 1 for w in weights.values())
+
+    def test_variant_weights_below_source(self, language):
+        weights = language.dictionary_weights()
+        for variant, source in language.variant_map.items():
+            assert weights[variant] <= weights[source]
+
+
+class TestCommentGeneration:
+    def test_text_is_words_plus_punctuation(self, language, rng):
+        text, words = language.generate_comment(PROMO_STYLE, rng)
+        assert strip_punctuation(text) == "".join(words)
+
+    def test_ends_with_final_punctuation(self, language, rng):
+        text, __ = language.generate_comment(ORGANIC_NEUTRAL_STYLE, rng)
+        assert text[-1] in PUNCTUATION
+
+    def test_words_from_lexicon(self, language, rng):
+        all_words = set(language.all_words())
+        __, words = language.generate_comment(PROMO_STYLE, rng)
+        assert set(words) <= all_words
+
+    def test_promo_longer_than_organic(self, language, rng):
+        promo_lens = []
+        organic_lens = []
+        for __ in range(60):
+            __t, words = language.generate_comment(PROMO_STYLE, rng)
+            promo_lens.append(len(words))
+            __t, words = language.generate_comment(
+                ORGANIC_NEUTRAL_STYLE, rng
+            )
+            organic_lens.append(len(words))
+        assert np.mean(promo_lens) > 2 * np.mean(organic_lens)
+
+    def test_promo_more_positive_than_neutral(self, language, rng):
+        def positive_rate(style):
+            hits = total = 0
+            for __ in range(60):
+                __t, words = language.generate_comment(style, rng)
+                hits += sum(1 for w in words if w in language.positive_set)
+                total += len(words)
+            return hits / total
+
+        assert positive_rate(PROMO_STYLE) > 3 * positive_rate(
+            ORGANIC_NEUTRAL_STYLE
+        )
+
+    def test_promo_nearly_free_of_negative_words(self, language, rng):
+        # The paper: fraud comments "tend to have no negative words".
+        # Description phrases keep a tiny residual negative rate.
+        hits = total = 0
+        for __ in range(60):
+            __t, words = language.generate_comment(PROMO_STYLE, rng)
+            hits += sum(1 for w in words if w in language.negative_set)
+            total += len(words)
+        assert hits / total < 0.01
+
+    def test_negative_style_has_negative_words(self, language, rng):
+        hits = 0
+        for __ in range(30):
+            __t, words = language.generate_comment(
+                ORGANIC_NEGATIVE_STYLE, rng
+            )
+            hits += sum(1 for w in words if w in language.negative_set)
+        assert hits > 0
+
+    def test_duplication_higher_in_promo(self, language, rng):
+        def dup_rate(style):
+            dups = total = 0
+            for __ in range(60):
+                __t, words = language.generate_comment(style, rng)
+                dups += len(words) - len(set(words))
+                total += len(words)
+            return dups / total
+
+        assert dup_rate(PROMO_STYLE) > dup_rate(ORGANIC_POSITIVE_STYLE)
+
+    def test_deterministic_given_rng_state(self, language):
+        a = language.generate_comment(
+            PROMO_STYLE, np.random.default_rng(77)
+        )
+        b = language.generate_comment(
+            PROMO_STYLE, np.random.default_rng(77)
+        )
+        assert a == b
+
+
+class TestNaming:
+    def test_item_name_words(self, language, rng):
+        name = language.generate_item_name(rng)
+        assert 2 <= len(name.split()) <= 3
+
+    def test_shop_name_suffix(self, language, rng):
+        assert language.generate_shop_name(rng).endswith(" store")
+
+    def test_nickname_nonempty(self, language, rng):
+        assert language.generate_nickname(rng)
+
+
+class TestSentimentCorpus:
+    def test_balanced_labels(self, language, rng):
+        docs, labels = language.sentiment_corpus(100, rng)
+        assert len(docs) == 100
+        assert sum(labels) == 50
+
+    def test_too_small_rejected(self, language, rng):
+        with pytest.raises(ValueError):
+            language.sentiment_corpus(1, rng)
+
+    def test_positive_docs_more_positive(self, language, rng):
+        docs, labels = language.sentiment_corpus(200, rng)
+        pos_rate = lambda doc: sum(
+            1 for w in doc if w in language.positive_set
+        ) / max(1, len(doc))
+        pos_docs = [d for d, l in zip(docs, labels) if l == 1]
+        neg_docs = [d for d, l in zip(docs, labels) if l == 0]
+        assert np.mean([pos_rate(d) for d in pos_docs]) > np.mean(
+            [pos_rate(d) for d in neg_docs]
+        )

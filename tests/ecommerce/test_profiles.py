@@ -1,0 +1,83 @@
+"""Tests for repro.ecommerce.profiles."""
+
+import pytest
+
+from repro.ecommerce.entities import Client
+from repro.ecommerce.profiles import eplatform_profile, taobao_profile
+
+
+class TestProfiles:
+    def test_taobao_paper_counts(self):
+        profile = taobao_profile()
+        assert profile.n_shops == 15_992
+        assert profile.n_items == 1_480_134
+
+    def test_fraud_rates_match_paper(self):
+        # D1: 18,682 / 1,480,134; E-platform: ~10,720 / 4.5M.
+        assert taobao_profile().fraud_item_rate == pytest.approx(
+            18_682 / 1_480_134, rel=0.05
+        )
+        assert eplatform_profile().fraud_item_rate == pytest.approx(
+            10_720 / 4_500_000, rel=0.05
+        )
+
+    def test_evidence_fraction_matches_paper(self):
+        assert taobao_profile().evidence_fraction == pytest.approx(
+            16_782 / 18_682, rel=0.01
+        )
+
+    def test_client_mixes_sum_to_one(self):
+        for profile in (taobao_profile(), eplatform_profile()):
+            assert sum(profile.organic_client_mix.values()) == pytest.approx(
+                1.0
+            )
+            assert sum(profile.promo_client_mix.values()) == pytest.approx(
+                1.0
+            )
+
+    def test_promo_mix_web_dominant(self):
+        for profile in (taobao_profile(), eplatform_profile()):
+            assert (
+                max(
+                    profile.promo_client_mix,
+                    key=profile.promo_client_mix.get,
+                )
+                is Client.WEB
+            )
+
+    def test_organic_mix_android_dominant(self):
+        for profile in (taobao_profile(), eplatform_profile()):
+            assert (
+                max(
+                    profile.organic_client_mix,
+                    key=profile.organic_client_mix.get,
+                )
+                is Client.ANDROID
+            )
+
+
+class TestScaled:
+    def test_scaled_counts(self):
+        scaled = taobao_profile().scaled(0.01)
+        assert scaled.n_items == round(1_480_134 * 0.01)
+
+    def test_scaled_preserves_rates(self):
+        base = taobao_profile()
+        scaled = base.scaled(0.01)
+        assert scaled.fraud_item_rate == base.fraud_item_rate
+        assert scaled.evidence_fraction == base.evidence_fraction
+
+    def test_minimum_floors(self):
+        scaled = taobao_profile().scaled(1e-9)
+        assert scaled.n_shops >= 30
+        assert scaled.n_items >= 20
+        assert scaled.n_users >= 50
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            taobao_profile().scaled(0.0)
+
+    def test_scaled_is_copy(self):
+        base = taobao_profile()
+        base.scaled(0.5)
+        assert base.n_items == 1_480_134

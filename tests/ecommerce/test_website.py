@@ -1,0 +1,133 @@
+"""Tests for repro.ecommerce.website."""
+
+import pytest
+
+from repro.ecommerce.website import PlatformWebsite, TransientHTTPError
+
+
+@pytest.fixture()
+def site(taobao_platform):
+    return PlatformWebsite(
+        taobao_platform, page_size=10, failure_rate=0.0, duplicate_rate=0.0,
+        seed=0,
+    )
+
+
+class TestValidation:
+    def test_bad_failure_rate(self, taobao_platform):
+        with pytest.raises(ValueError):
+            PlatformWebsite(taobao_platform, failure_rate=1.0)
+
+    def test_bad_duplicate_rate(self, taobao_platform):
+        with pytest.raises(ValueError):
+            PlatformWebsite(taobao_platform, duplicate_rate=-0.1)
+
+    def test_negative_page(self, site):
+        with pytest.raises(ValueError):
+            site.get_shops(page=-1)
+
+
+class TestPagination:
+    def test_page_size_respected(self, site):
+        page = site.get_shops(0)
+        assert len(page["rows"]) <= 10
+
+    def test_has_more_flag(self, site, taobao_platform):
+        n_shops = len(taobao_platform.shops)
+        page = site.get_shops(0)
+        assert page["has_more"] == (n_shops > 10)
+
+    def test_all_pages_cover_all_shops(self, site, taobao_platform):
+        rows = []
+        page_no = 0
+        while True:
+            page = site.get_shops(page_no)
+            rows.extend(page["rows"])
+            if not page["has_more"]:
+                break
+            page_no += 1
+        assert len(rows) == len(taobao_platform.shops)
+
+    def test_beyond_last_page_empty(self, site):
+        page = site.get_shops(10_000)
+        assert page["rows"] == []
+        assert not page["has_more"]
+
+
+class TestEndpoints:
+    def test_shop_rows_shape(self, site):
+        row = site.get_shops(0)["rows"][0]
+        assert set(row) == {"shop_id", "shop_url", "shop_name"}
+
+    def test_item_rows_shape(self, site, taobao_platform):
+        shop_id = taobao_platform.shops[0].shop_id
+        rows = site.get_shop_items(shop_id, 0)["rows"]
+        if rows:
+            assert set(rows[0]) == {
+                "item_id",
+                "item_name",
+                "price",
+                "sales_volume",
+                "shop_id",
+            }
+
+    def test_unknown_shop_raises(self, site):
+        with pytest.raises(KeyError):
+            site.get_shop_items(999_999)
+
+    def test_comment_rows_match_listing2(self, site, taobao_platform):
+        item = next(i for i in taobao_platform.items if i.comments)
+        rows = site.get_item_comments(item.item_id, 0)["rows"]
+        assert set(rows[0]) == {
+            "item_id",
+            "comment_id",
+            "comment_content",
+            "nickname",
+            "userExpValue",
+            "client_information",
+            "date",
+        }
+
+    def test_nicknames_anonymized(self, site, taobao_platform):
+        item = next(i for i in taobao_platform.items if i.comments)
+        rows = site.get_item_comments(item.item_id, 0)["rows"]
+        assert all("***" in row["nickname"] for row in rows)
+
+    def test_unknown_item_raises(self, site):
+        with pytest.raises(KeyError):
+            site.get_item_comments(42)
+
+
+class TestNoise:
+    def test_failures_raised(self, taobao_platform):
+        site = PlatformWebsite(
+            taobao_platform, failure_rate=0.9, duplicate_rate=0.0, seed=1
+        )
+        with pytest.raises(TransientHTTPError):
+            for __ in range(50):
+                site.get_shops(0)
+
+    def test_request_count_tracks_failures(self, taobao_platform):
+        site = PlatformWebsite(
+            taobao_platform, failure_rate=0.5, duplicate_rate=0.0, seed=1
+        )
+        attempts = 0
+        for __ in range(20):
+            attempts += 1
+            try:
+                site.get_shops(0)
+            except TransientHTTPError:
+                pass
+        assert site.request_count == attempts
+
+    def test_duplicates_injected(self, taobao_platform):
+        site = PlatformWebsite(
+            taobao_platform,
+            page_size=10_000,
+            failure_rate=0.0,
+            duplicate_rate=0.5,
+            seed=2,
+        )
+        rows = site.get_shops(0)["rows"]
+        ids = [row["shop_id"] for row in rows]
+        assert len(ids) > len(set(ids))

@@ -1,0 +1,90 @@
+"""Regression tests for pagination stability under noise injection.
+
+An earlier implementation re-randomized duplicate injection on every
+request, which shifted rows between pages and silently *lost* records
+during a paginated crawl.  Duplication must be a deterministic function
+of the row so pagination is stable.
+"""
+
+import pytest
+
+from repro.ecommerce.website import PlatformWebsite
+
+
+@pytest.fixture()
+def noisy_site(taobao_platform):
+    return PlatformWebsite(
+        taobao_platform,
+        page_size=7,
+        failure_rate=0.0,
+        duplicate_rate=0.3,
+        seed=12,
+    )
+
+
+class TestPaginationStability:
+    def test_same_page_identical_across_requests(self, noisy_site):
+        first = noisy_site.get_shops(0)["rows"]
+        second = noisy_site.get_shops(0)["rows"]
+        assert first == second
+
+    def test_pages_partition_the_stream(self, noisy_site, taobao_platform):
+        """Walking all pages yields every shop at least once, with
+        duplicates exactly where the deterministic rule says."""
+        rows = []
+        page_no = 0
+        while True:
+            page = noisy_site.get_shops(page_no)
+            rows.extend(page["rows"])
+            if not page["has_more"]:
+                break
+            page_no += 1
+        seen_ids = {row["shop_id"] for row in rows}
+        expected_ids = {shop.shop_id for shop in taobao_platform.shops}
+        assert seen_ids == expected_ids
+
+    def test_comment_pagination_loses_nothing(
+        self, noisy_site, taobao_platform
+    ):
+        item = max(taobao_platform.items, key=lambda i: len(i.comments))
+        rows = []
+        page_no = 0
+        while True:
+            page = noisy_site.get_item_comments(item.item_id, page_no)
+            rows.extend(page["rows"])
+            if not page["has_more"]:
+                break
+            page_no += 1
+        seen = {int(row["comment_id"]) for row in rows}
+        expected = {c.comment_id for c in item.comments}
+        assert seen == expected
+
+    def test_duplicates_actually_injected(self, noisy_site, taobao_platform):
+        item = max(taobao_platform.items, key=lambda i: len(i.comments))
+        rows = []
+        page_no = 0
+        while True:
+            page = noisy_site.get_item_comments(item.item_id, page_no)
+            rows.extend(page["rows"])
+            if not page["has_more"]:
+                break
+            page_no += 1
+        # At 30% duplicate rate a comment-rich item must show some.
+        if len(item.comments) >= 10:
+            assert len(rows) > len(item.comments)
+
+    def test_different_seeds_duplicate_different_rows(self, taobao_platform):
+        a = PlatformWebsite(
+            taobao_platform, page_size=10_000, failure_rate=0.0,
+            duplicate_rate=0.3, seed=1,
+        )
+        b = PlatformWebsite(
+            taobao_platform, page_size=10_000, failure_rate=0.0,
+            duplicate_rate=0.3, seed=2,
+        )
+        rows_a = [r["shop_id"] for r in a.get_shops(0)["rows"]]
+        rows_b = [r["shop_id"] for r in b.get_shops(0)["rows"]]
+        # Both contain all shops but (with high probability) duplicate
+        # different subsets.
+        assert set(rows_a) == set(rows_b)
+        assert rows_a != rows_b

@@ -1,0 +1,79 @@
+"""Tests for repro.ml.adaboost."""
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostClassifier
+
+
+@pytest.fixture(scope="module")
+def stripes_data():
+    """Three vertical stripes: one stump is insufficient, boosting works."""
+    rng = np.random.default_rng(11)
+    X = rng.uniform(0, 3, size=(400, 1))
+    y = ((X[:, 0] % 2) < 1).astype(int)
+    return X, y
+
+
+class TestValidation:
+    def test_bad_n_estimators(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0.0)
+
+
+class TestTraining:
+    def test_boosting_beats_single_stump(self, stripes_data):
+        X, y = stripes_data
+        stump = AdaBoostClassifier(n_estimators=1).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=40).fit(X, y)
+        assert boosted.score(X, y) > stump.score(X, y)
+
+    def test_perfect_weak_learner_short_circuits(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = AdaBoostClassifier(n_estimators=50).fit(X, y)
+        assert model.n_rounds_ == 1
+        assert model.score(X, y) == 1.0
+
+    def test_rounds_bounded_by_n_estimators(self, stripes_data):
+        X, y = stripes_data
+        model = AdaBoostClassifier(n_estimators=7).fit(X, y)
+        assert model.n_rounds_ <= 7
+
+    def test_stage_weights_positive(self, stripes_data):
+        X, y = stripes_data
+        model = AdaBoostClassifier(n_estimators=20).fit(X, y)
+        assert all(alpha > 0 for alpha in model.estimator_weights_)
+
+    def test_deeper_weak_learners(self, stripes_data):
+        X, y = stripes_data
+        model = AdaBoostClassifier(n_estimators=15, max_depth=3).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_pure_noise_converges_gracefully(self):
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(100, 2))
+        y = rng.integers(0, 2, size=100)
+        model = AdaBoostClassifier(n_estimators=30).fit(X, y)
+        # Must stay usable even when weak learners stop helping.
+        assert model.predict(X).shape == (100,)
+
+
+class TestDecisionFunction:
+    def test_margin_in_unit_interval(self, stripes_data):
+        X, y = stripes_data
+        model = AdaBoostClassifier(n_estimators=20).fit(X, y)
+        margin = model.decision_function(X)
+        assert np.all(margin >= -1.0 - 1e-9)
+        assert np.all(margin <= 1.0 + 1e-9)
+
+    def test_sign_matches_predict(self, stripes_data):
+        X, y = stripes_data
+        model = AdaBoostClassifier(n_estimators=20).fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict(X), (model.decision_function(X) >= 0).astype(int)
+        )

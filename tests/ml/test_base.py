@@ -1,0 +1,69 @@
+"""Tests for repro.ml.base validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import as_rng, check_array, check_X_y
+
+
+class TestCheckArray:
+    def test_accepts_2d(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_promotes_1d(self):
+        out = check_array([1.0, 2.0])
+        assert out.shape == (2, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array([[np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_array([[np.inf]])
+
+
+class TestCheckXY:
+    def test_happy_path(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1)
+        assert y.dtype == np.int64
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0]], [0])
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0], [3.0]], [0, 1, 2])
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0]], [[1]])
+
+    def test_accepts_single_class(self):
+        # A single-class batch is valid input (models may reject later).
+        __, y = check_X_y([[1.0], [2.0]], [1, 1])
+        assert set(y) == {1}
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen

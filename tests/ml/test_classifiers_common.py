@@ -1,0 +1,105 @@
+"""Contract tests every classifier must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    GaussianNB,
+    GradientBoostingClassifier,
+    LinearSVC,
+    MLPClassifier,
+)
+
+FACTORIES = {
+    "gbdt": lambda: GradientBoostingClassifier(n_estimators=25, seed=0),
+    "svm": lambda: LinearSVC(max_iter=120, seed=0),
+    "adaboost": lambda: AdaBoostClassifier(n_estimators=25),
+    "mlp": lambda: MLPClassifier(
+        hidden_layer_sizes=(16,), max_epochs=40, seed=0
+    ),
+    "tree": lambda: DecisionTreeClassifier(max_depth=6),
+    "gnb": lambda: GaussianNB(),
+}
+
+
+@pytest.fixture(scope="module")
+def separable_data():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(300, 5))
+    w = np.array([1.5, -2.0, 0.5, 0.0, 1.0])
+    y = (X @ w > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def noisy_data():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(400, 4))
+    w = np.array([1.0, -1.0, 0.5, 0.2])
+    y = (X @ w + 0.8 * rng.normal(size=400) > 0).astype(int)
+    return X, y
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestClassifierContract:
+    def test_fit_returns_self(self, name, separable_data):
+        X, y = separable_data
+        model = FACTORIES[name]()
+        assert model.fit(X, y) is model
+
+    def test_learns_separable_data(self, name, separable_data):
+        X, y = separable_data
+        model = FACTORIES[name]().fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_generalizes_on_noisy_data(self, name, noisy_data):
+        X, y = noisy_data
+        model = FACTORIES[name]().fit(X[:300], y[:300])
+        assert model.score(X[300:], y[300:]) > 0.7
+
+    def test_predict_shape_and_dtype(self, name, separable_data):
+        X, y = separable_data
+        model = FACTORIES[name]().fit(X, y)
+        pred = model.predict(X[:7])
+        assert pred.shape == (7,)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_proba_shape_and_normalization(self, name, separable_data):
+        X, y = separable_data
+        model = FACTORIES[name]().fit(X, y)
+        proba = model.predict_proba(X[:11])
+        assert proba.shape == (11, 2)
+        assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_unfitted_predict_raises(self, name):
+        model = FACTORIES[name]()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_feature_count_mismatch_raises(self, name, separable_data):
+        X, y = separable_data
+        model = FACTORIES[name]().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, X.shape[1] + 1)))
+
+    def test_rejects_non_binary_labels(self, name, separable_data):
+        X, __ = separable_data
+        bad = np.full(len(X), 2)
+        with pytest.raises(ValueError):
+            FACTORIES[name]().fit(X, bad)
+
+    def test_rejects_nan_features(self, name, separable_data):
+        X, y = separable_data
+        bad = X.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            FACTORIES[name]().fit(bad, y)
+
+    def test_deterministic_given_seed(self, name, noisy_data):
+        X, y = noisy_data
+        a = FACTORIES[name]().fit(X, y).predict_proba(X[:20])
+        b = FACTORIES[name]().fit(X, y).predict_proba(X[:20])
+        np.testing.assert_array_equal(a, b)

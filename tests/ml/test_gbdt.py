@@ -1,0 +1,130 @@
+"""Tests for repro.ml.gbdt (XGBoost-style boosting)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GradientBoostingClassifier, _sigmoid
+
+
+@pytest.fixture(scope="module")
+def ring_data():
+    """A nonlinear target (inside/outside a ring)."""
+    rng = np.random.default_rng(5)
+    X = rng.uniform(-2, 2, size=(500, 2))
+    y = (np.hypot(X[:, 0], X[:, 1]) < 1.2).astype(int)
+    return X, y
+
+
+class TestValidation:
+    def test_bad_n_estimators(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+
+    def test_bad_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=1.5)
+
+    def test_bad_colsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(colsample=0.0)
+
+
+class TestTraining:
+    def test_solves_nonlinear_problem(self, ring_data):
+        X, y = ring_data
+        model = GradientBoostingClassifier(
+            n_estimators=60, max_depth=3, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_more_rounds_reduce_training_error(self, ring_data):
+        X, y = ring_data
+        few = GradientBoostingClassifier(n_estimators=3, seed=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=80, seed=0).fit(X, y)
+        assert many.score(X, y) >= few.score(X, y)
+
+    def test_base_margin_is_log_odds(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.array([1] * 25 + [0] * 75)
+        model = GradientBoostingClassifier(n_estimators=1).fit(X, y)
+        assert model.base_margin_ == pytest.approx(np.log(25 / 75))
+
+    def test_subsample_and_colsample_run(self, ring_data):
+        X, y = ring_data
+        model = GradientBoostingClassifier(
+            n_estimators=30, subsample=0.7, colsample=0.5, seed=1
+        ).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_gamma_prunes_splits(self, ring_data):
+        X, y = ring_data
+        loose = GradientBoostingClassifier(
+            n_estimators=20, gamma=0.0, seed=0
+        ).fit(X, y)
+        tight = GradientBoostingClassifier(
+            n_estimators=20, gamma=50.0, seed=0
+        ).fit(X, y)
+        assert tight.total_node_count < loose.total_node_count
+
+    def test_min_child_weight_prunes(self, ring_data):
+        X, y = ring_data
+        loose = GradientBoostingClassifier(
+            n_estimators=10, min_child_weight=0.5, seed=0
+        ).fit(X, y)
+        tight = GradientBoostingClassifier(
+            n_estimators=10, min_child_weight=30.0, seed=0
+        ).fit(X, y)
+        assert tight.total_node_count <= loose.total_node_count
+
+
+class TestDecisionFunction:
+    def test_matches_proba_through_sigmoid(self, ring_data):
+        X, y = ring_data
+        model = GradientBoostingClassifier(n_estimators=10, seed=0).fit(X, y)
+        margin = model.decision_function(X[:20])
+        proba = model.predict_proba(X[:20])[:, 1]
+        np.testing.assert_allclose(proba, _sigmoid(margin))
+
+
+class TestImportance:
+    def test_weight_importance_counts_splits(self, ring_data):
+        X, y = ring_data
+        model = GradientBoostingClassifier(n_estimators=15, seed=0).fit(X, y)
+        weight = model.feature_importances("weight")
+        total_internal = sum(
+            int(np.sum(tree.feature != -1)) for tree in model.trees_
+        )
+        assert weight.sum() == total_internal
+
+    def test_gain_importance_nonnegative(self, ring_data):
+        X, y = ring_data
+        model = GradientBoostingClassifier(n_estimators=15, seed=0).fit(X, y)
+        assert np.all(model.feature_importances("gain") >= 0.0)
+
+    def test_irrelevant_feature_scores_low(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack(
+            [rng.normal(size=400), rng.normal(size=400)]
+        )
+        y = (X[:, 0] > 0).astype(int)
+        model = GradientBoostingClassifier(n_estimators=25, seed=0).fit(X, y)
+        importance = model.feature_importances("weight")
+        assert importance[0] > importance[1]
+
+    def test_unknown_kind_raises(self, ring_data):
+        X, y = ring_data
+        model = GradientBoostingClassifier(n_estimators=2, seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            model.feature_importances("cover")
+
+
+class TestSigmoid:
+    def test_extremes_do_not_overflow(self):
+        out = _sigmoid(np.array([-1e6, 0.0, 1e6]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)

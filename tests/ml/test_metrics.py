@@ -1,0 +1,175 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+label_lists = st.lists(st.integers(0, 1), min_size=1, max_size=50)
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 0, 1])
+        assert cm.tolist() == [[1, 1], [1, 1]]
+
+    def test_all_correct(self):
+        cm = confusion_matrix([0, 1], [0, 1])
+        assert cm[0, 0] == 1 and cm[1, 1] == 1
+        assert cm[0, 1] == 0 and cm[1, 0] == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+    @given(label_lists)
+    def test_sums_to_n(self, labels):
+        preds = labels[::-1]
+        cm = confusion_matrix(labels, preds)
+        assert cm.sum() == len(labels)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_score([1, 0], [1, 0]) == 1.0
+        assert recall_score([1, 0], [1, 0]) == 1.0
+
+    def test_precision_definition(self):
+        # 1 TP, 1 FP.
+        assert precision_score([1, 0, 0], [1, 1, 0]) == 0.5
+
+    def test_recall_definition(self):
+        # 1 TP, 1 FN.
+        assert recall_score([1, 1, 0], [1, 0, 0]) == 0.5
+
+    def test_no_predicted_positives_gives_zero_precision(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_actual_positives_gives_zero_recall(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    @given(label_lists)
+    def test_bounds(self, labels):
+        preds = [1 - v for v in labels]
+        assert 0.0 <= precision_score(labels, preds) <= 1.0
+        assert 0.0 <= recall_score(labels, preds) <= 1.0
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        p = precision_score(y_true, y_pred)
+        r = recall_score(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(
+            2 * p * r / (p + r)
+        )
+
+    def test_zero_when_nothing_found(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_combined_helper_consistent(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        p, r, f = precision_recall_f1(y_true, y_pred)
+        assert p == precision_score(y_true, y_pred)
+        assert r == recall_score(y_true, y_pred)
+        assert f == pytest.approx(f1_score(y_true, y_pred))
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    @given(label_lists)
+    def test_self_prediction_is_one(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_scores(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        s = rng.random(4000)
+        assert abs(roc_auc_score(y, s) - 0.5) < 0.05
+
+    def test_ties_average(self):
+        # All scores equal -> AUC exactly 0.5.
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.3, 0.4])
+
+    def test_monotone_transform_invariance(self):
+        y = [0, 1, 0, 1, 1, 0]
+        s = np.array([0.1, 0.9, 0.3, 0.7, 0.6, 0.2])
+        assert roc_auc_score(y, s) == roc_auc_score(y, s * 10 + 3)
+
+
+class TestReport:
+    def test_contains_all_metrics(self):
+        text = classification_report([1, 0, 1], [1, 0, 0])
+        for key in ("accuracy", "precision", "recall", "f1-score"):
+            assert key in text
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking_is_one(self):
+        from repro.ml.metrics import average_precision_score
+
+        assert average_precision_score(
+            [0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]
+        ) == 1.0
+
+    def test_worst_ranking(self):
+        from repro.ml.metrics import average_precision_score
+
+        # Positives ranked last: AP = mean of k/(n_neg+k).
+        ap = average_precision_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9])
+        expected = 0.5 * (1 / 3 + 2 / 4)
+        assert ap == pytest.approx(expected)
+
+    def test_no_positives_raises(self):
+        from repro.ml.metrics import average_precision_score
+
+        with pytest.raises(ValueError):
+            average_precision_score([0, 0], [0.1, 0.2])
+
+    def test_bounded(self):
+        from repro.ml.metrics import average_precision_score
+
+        rng = np.random.default_rng(9)
+        y = rng.integers(0, 2, 200)
+        if y.sum() == 0:
+            y[0] = 1
+        ap = average_precision_score(y, rng.random(200))
+        assert 0.0 < ap <= 1.0
+
+    def test_random_scores_near_prevalence(self):
+        from repro.ml.metrics import average_precision_score
+
+        rng = np.random.default_rng(10)
+        y = (rng.random(5000) < 0.2).astype(int)
+        ap = average_precision_score(y, rng.random(5000))
+        assert abs(ap - 0.2) < 0.05

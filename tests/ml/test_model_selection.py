@@ -1,0 +1,138 @@
+"""Tests for repro.ml.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.naive_bayes import GaussianNB
+
+
+class TestKFold:
+    def test_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_partitions_all_indices(self):
+        splitter = KFold(n_splits=5, seed=0)
+        seen = np.concatenate([test for __, test in splitter.split(53)])
+        assert sorted(seen.tolist()) == list(range(53))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=4, seed=0).split(40):
+            assert len(np.intersect1d(train, test)) == 0
+
+    def test_train_plus_test_is_everything(self):
+        for train, test in KFold(n_splits=4, seed=0).split(41):
+            assert len(train) + len(test) == 41
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_no_shuffle_is_contiguous(self):
+        splits = list(KFold(n_splits=2, shuffle=False).split(10))
+        np.testing.assert_array_equal(splits[0][1], np.arange(5))
+
+
+class TestStratifiedKFold:
+    def test_preserves_class_ratio(self):
+        y = np.array([1] * 20 + [0] * 80)
+        for __, test in StratifiedKFold(n_splits=5, seed=0).split(y):
+            test_labels = y[test]
+            assert (test_labels == 1).sum() == 4
+            assert (test_labels == 0).sum() == 16
+
+    def test_partitions_everything(self):
+        y = np.array([0, 1] * 25)
+        seen = np.concatenate(
+            [test for __, test in StratifiedKFold(5, seed=1).split(y)]
+        )
+        assert sorted(seen.tolist()) == list(range(50))
+
+    def test_class_smaller_than_folds_rejected(self):
+        y = np.array([1, 1, 0, 0, 0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(n_splits=3).split(y))
+
+
+class TestTrainTestSplit:
+    @pytest.fixture()
+    def data(self):
+        rng = np.random.default_rng(18)
+        X = rng.normal(size=(100, 3))
+        y = np.array([1] * 30 + [0] * 70)
+        return X, y
+
+    def test_sizes(self, data):
+        X, y = data
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2)
+        assert len(X_te) == len(y_te)
+        assert len(X_tr) + len(X_te) == 100
+        assert abs(len(X_te) - 20) <= 1
+
+    def test_stratified_preserves_ratio(self, data):
+        X, y = data
+        __, __, __, y_te = train_test_split(X, y, test_size=0.2)
+        assert (y_te == 1).sum() == 6
+
+    def test_bad_test_size(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_deterministic(self, data):
+        X, y = data
+        a = train_test_split(X, y, seed=3)
+        b = train_test_split(X, y, seed=3)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_unstratified_runs(self, data):
+        X, y = data
+        X_tr, X_te, __, __ = train_test_split(X, y, stratify=False)
+        assert len(X_tr) + len(X_te) == 100
+
+
+class TestCrossValidate:
+    def test_returns_expected_keys(self):
+        rng = np.random.default_rng(19)
+        X = rng.normal(size=(120, 2))
+        y = (X[:, 0] > 0).astype(int)
+        result = cross_validate(GaussianNB, X, y, n_splits=4)
+        assert set(result) == {
+            "precision",
+            "recall",
+            "f1",
+            "precision_std",
+            "recall_std",
+            "f1_std",
+        }
+
+    def test_good_model_scores_high(self):
+        rng = np.random.default_rng(20)
+        X = np.vstack(
+            [rng.normal(-3, 1, (60, 2)), rng.normal(3, 1, (60, 2))]
+        )
+        y = np.array([0] * 60 + [1] * 60)
+        result = cross_validate(GaussianNB, X, y)
+        assert result["precision"] > 0.9
+        assert result["recall"] > 0.9
+
+    def test_fresh_model_per_fold(self):
+        """The factory must be invoked once per fold."""
+        calls = []
+
+        class Recorder(GaussianNB):
+            def __init__(self):
+                calls.append(1)
+                super().__init__()
+
+        rng = np.random.default_rng(21)
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        cross_validate(Recorder, X, y, n_splits=5)
+        assert len(calls) == 5

@@ -1,0 +1,117 @@
+"""Tests for repro.ml.naive_bayes."""
+
+import numpy as np
+import pytest
+
+from repro.ml.naive_bayes import GaussianNB, MultinomialNB
+
+
+class TestGaussianNB:
+    def test_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=0.0)
+
+    def test_separated_gaussians(self):
+        rng = np.random.default_rng(15)
+        X = np.vstack(
+            [rng.normal(-2, 1, (150, 2)), rng.normal(2, 1, (150, 2))]
+        )
+        y = np.array([0] * 150 + [1] * 150)
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_priors_match_frequencies(self):
+        rng = np.random.default_rng(16)
+        X = rng.normal(size=(100, 2))
+        y = np.array([1] * 30 + [0] * 70)
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_[1] == pytest.approx(0.3)
+
+    def test_prior_shifts_prediction(self):
+        rng = np.random.default_rng(17)
+        # Identical likelihoods, skewed prior: predicts the prior class.
+        X = rng.normal(size=(200, 1))
+        y = np.array([0] * 180 + [1] * 20)
+        model = GaussianNB().fit(X, rng.permutation(y))
+        pred = model.predict(rng.normal(size=(50, 1)))
+        assert (pred == 0).mean() > 0.8
+
+    def test_single_class_training_rejected(self):
+        X = np.zeros((10, 2))
+        y = np.ones(10, dtype=int)
+        with pytest.raises(ValueError):
+            GaussianNB().fit(X, y)
+
+    def test_constant_feature_stable(self):
+        X = np.column_stack([np.zeros(50), np.arange(50.0)])
+        y = (np.arange(50) > 25).astype(int)
+        model = GaussianNB().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(np.isfinite(proba))
+
+
+class TestMultinomialNB:
+    @pytest.fixture()
+    def toy_corpus(self):
+        # vocab: 0="good", 1="bad", 2="item"
+        docs = [[0, 0, 2], [0, 2], [1, 2], [1, 1, 2], [0], [1]]
+        labels = [1, 1, 0, 0, 1, 0]
+        return docs, labels
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            MultinomialNB(alpha=0.0)
+
+    def test_learns_token_polarity(self, toy_corpus):
+        docs, labels = toy_corpus
+        model = MultinomialNB().fit(docs, labels, vocab_size=3)
+        assert model.positive_probability([0, 0]) > 0.5
+        assert model.positive_probability([1, 1]) < 0.5
+
+    def test_neutral_token_near_prior(self, toy_corpus):
+        docs, labels = toy_corpus
+        model = MultinomialNB().fit(docs, labels, vocab_size=3)
+        # "item" occurs equally in both classes.
+        assert model.positive_probability([2]) == pytest.approx(0.5, abs=0.1)
+
+    def test_empty_document_returns_prior(self, toy_corpus):
+        docs, labels = toy_corpus
+        model = MultinomialNB().fit(docs, labels, vocab_size=3)
+        prior_pos = np.exp(model.class_log_prior_[1])
+        assert model.positive_probability([]) == pytest.approx(prior_pos)
+
+    def test_proba_normalized(self, toy_corpus):
+        docs, labels = toy_corpus
+        model = MultinomialNB().fit(docs, labels, vocab_size=3)
+        proba = model.predict_proba([0, 1, 2])
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_out_of_vocab_token_at_predict_ignored(self, toy_corpus):
+        docs, labels = toy_corpus
+        model = MultinomialNB().fit(docs, labels, vocab_size=3)
+        assert model.positive_probability([0, 99]) == pytest.approx(
+            model.positive_probability([0])
+        )
+
+    def test_out_of_vocab_token_at_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNB().fit([[5]], [1], vocab_size=3)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNB().fit([[0], [1]], [1, 1], vocab_size=2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNB().fit([[0]], [1, 0], vocab_size=2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNB().predict_proba([0])
+
+    def test_longer_evidence_more_extreme(self, toy_corpus):
+        docs, labels = toy_corpus
+        model = MultinomialNB().fit(docs, labels, vocab_size=3)
+        assert model.positive_probability([0, 0, 0]) > (
+            model.positive_probability([0])
+        )

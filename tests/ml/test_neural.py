@@ -1,0 +1,90 @@
+"""Tests for repro.ml.neural (MLP)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.neural import MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def moons_like():
+    """Two interleaving half-circles (nonlinear boundary)."""
+    rng = np.random.default_rng(13)
+    n = 300
+    t = rng.uniform(0, np.pi, size=n)
+    upper = np.column_stack([np.cos(t), np.sin(t)])
+    lower = np.column_stack([1 - np.cos(t), 0.4 - np.sin(t)])
+    X = np.vstack([upper, lower]) + 0.08 * rng.normal(size=(2 * n, 2))
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+class TestValidation:
+    def test_bad_activation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(activation="gelu")
+
+    def test_bad_hidden_width(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=(0,))
+
+
+class TestTraining:
+    def test_learns_nonlinear_boundary(self, moons_like):
+        X, y = moons_like
+        model = MLPClassifier(
+            hidden_layer_sizes=(32, 16), max_epochs=120, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_tanh_activation_works(self, moons_like):
+        X, y = moons_like
+        model = MLPClassifier(
+            hidden_layer_sizes=(24,), activation="tanh",
+            max_epochs=120, seed=0,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_loss_curve_decreases(self, moons_like):
+        X, y = moons_like
+        model = MLPClassifier(max_epochs=40, seed=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_early_stopping_stops_sooner(self, moons_like):
+        X, y = moons_like
+        eager = MLPClassifier(
+            max_epochs=150, early_stopping=True, patience=3, seed=0
+        ).fit(X, y)
+        assert len(eager.loss_curve_) < 150
+
+    def test_weight_decay_shrinks_weights(self, moons_like):
+        X, y = moons_like
+        small = MLPClassifier(alpha=0.0, max_epochs=30, seed=0).fit(X, y)
+        large = MLPClassifier(alpha=0.3, max_epochs=30, seed=0).fit(X, y)
+        norm = lambda m: sum(float(np.abs(W).sum()) for W in m._weights)
+        assert norm(large) < norm(small)
+
+    def test_different_seeds_differ(self, moons_like):
+        X, y = moons_like
+        a = MLPClassifier(max_epochs=5, seed=0).fit(X, y)
+        b = MLPClassifier(max_epochs=5, seed=1).fit(X, y)
+        assert not np.allclose(a._weights[0], b._weights[0])
+
+
+class TestArchitecture:
+    def test_layer_shapes(self, moons_like):
+        X, y = moons_like
+        model = MLPClassifier(
+            hidden_layer_sizes=(10, 7), max_epochs=2, seed=0
+        ).fit(X, y)
+        shapes = [W.shape for W in model._weights]
+        assert shapes == [(2, 10), (10, 7), (7, 1)]
+
+    def test_no_hidden_layers_is_logistic_regression(self):
+        rng = np.random.default_rng(14)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] - X[:, 1] > 0).astype(int)
+        model = MLPClassifier(
+            hidden_layer_sizes=(), max_epochs=80, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9

@@ -1,0 +1,86 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.integers(1, 5)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(22)
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((5, 4)))
+
+    @given(matrices)
+    @settings(max_examples=40)
+    def test_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-6)
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        rng = np.random.default_rng(23)
+        X = rng.normal(size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_constant_feature_no_nan(self):
+        X = np.full((8, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = MinMaxScaler().fit(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((4, 3)))
+
+    @given(matrices)
+    @settings(max_examples=40)
+    def test_output_within_range(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(Z >= -1e-9)
+        assert np.all(Z <= 1.0 + 1e-9)

@@ -1,0 +1,101 @@
+"""Tests for repro.ml.svm (dual coordinate descent linear SVM)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import LinearSVC
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 3))
+    w = np.array([2.0, -1.0, 0.5])
+    y = (X @ w + 0.4 > 0).astype(int)
+    return X, y
+
+
+class TestValidation:
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0)
+
+    def test_bad_class_weight(self):
+        with pytest.raises(ValueError):
+            LinearSVC(class_weight="magic")
+
+
+class TestTraining:
+    def test_recovers_linear_boundary(self, linear_data):
+        X, y = linear_data
+        model = LinearSVC(seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_weight_direction(self, linear_data):
+        X, y = linear_data
+        model = LinearSVC(seed=0).fit(X, y)
+        # Learned weights should correlate with the generating weights.
+        w_true = np.array([2.0, -1.0, 0.5])
+        cosine = model.coef_ @ w_true / (
+            np.linalg.norm(model.coef_) * np.linalg.norm(w_true)
+        )
+        assert cosine > 0.9
+
+    def test_intercept_learned(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(loc=0.0, size=(200, 1))
+        y = (X[:, 0] > 1.0).astype(int)  # offset boundary
+        model = LinearSVC(seed=0).fit(X, y)
+        assert model.intercept_ < 0.0
+        assert model.score(X, y) > 0.9
+
+    def test_no_intercept_option(self, linear_data):
+        X, y = linear_data
+        model = LinearSVC(fit_intercept=False, seed=0).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_support_vector_count_bounded(self, linear_data):
+        X, y = linear_data
+        model = LinearSVC(seed=0).fit(X, y)
+        assert 0 < model.n_support_ <= len(y)
+
+    def test_larger_c_fits_harder(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + 0.5 * rng.normal(size=200) > 0).astype(int)
+        soft = LinearSVC(C=1e-3, seed=0).fit(X, y)
+        hard = LinearSVC(C=10.0, seed=0).fit(X, y)
+        assert hard.score(X, y) >= soft.score(X, y)
+
+    def test_balanced_class_weight_improves_minority_recall(self):
+        rng = np.random.default_rng(10)
+        n_min = 15
+        X = np.vstack(
+            [
+                rng.normal(-1.0, 1.0, size=(300, 2)),
+                rng.normal(1.2, 1.0, size=(n_min, 2)),
+            ]
+        )
+        y = np.array([0] * 300 + [1] * n_min)
+        plain = LinearSVC(seed=0).fit(X, y)
+        balanced = LinearSVC(class_weight="balanced", seed=0).fit(X, y)
+        recall = lambda m: (m.predict(X)[y == 1] == 1).mean()
+        assert recall(balanced) >= recall(plain)
+
+
+class TestDecisionFunction:
+    def test_sign_matches_predict(self, linear_data):
+        X, y = linear_data
+        model = LinearSVC(seed=0).fit(X, y)
+        margin = model.decision_function(X)
+        np.testing.assert_array_equal(
+            model.predict(X), (margin >= 0).astype(int)
+        )
+
+    def test_proba_monotone_in_margin(self, linear_data):
+        X, y = linear_data
+        model = LinearSVC(seed=0).fit(X, y)
+        margin = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        order = np.argsort(margin)
+        assert np.all(np.diff(proba[order]) >= -1e-12)

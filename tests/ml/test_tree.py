@@ -1,0 +1,134 @@
+"""Tests for repro.ml.tree (CART)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture()
+def xor_data():
+    """XOR: needs depth >= 2, impossible for a stump."""
+    X = np.array(
+        [[0, 0], [0, 1], [1, 0], [1, 1]] * 25, dtype=float
+    )
+    y = (X[:, 0].astype(int) ^ X[:, 1].astype(int)).astype(int)
+    return X, y
+
+
+class TestHyperparameterValidation:
+    def test_bad_max_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_bad_min_samples_split(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_bad_min_samples_leaf(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+class TestGrowth:
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert tree.depth == 0
+
+    def test_single_split_separates(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 3
+        assert tree.score(X, y) == 1.0
+        # Threshold is midway between 1 and 2.
+        assert tree.threshold_[0] == pytest.approx(1.5)
+
+    def test_solves_xor_with_depth_two(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_stump_cannot_solve_xor(self, xor_data):
+        X, y = xor_data
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert stump.score(X, y) <= 0.75
+
+    def test_max_depth_respected(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert tree.depth <= 1
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        leaf_mask = tree.feature_ == -1
+        assert tree.n_node_samples_[leaf_mask].min() >= 20
+
+    def test_min_impurity_decrease_blocks_weak_split(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 1))
+        y = rng.integers(0, 2, size=200)  # pure noise
+        tree = DecisionTreeClassifier(min_impurity_decrease=0.05).fit(X, y)
+        assert tree.node_count == 1
+
+
+class TestSampleWeights:
+    def test_weights_shift_majority(self):
+        X = np.array([[0.0], [0.0], [0.0]])
+        y = np.array([0, 0, 1])
+        # Weight the single positive example heavily.
+        w = np.array([1.0, 1.0, 10.0])
+        tree = DecisionTreeClassifier().fit(X, y, sample_weight=w)
+        assert tree.predict(np.array([[0.0]]))[0] == 1
+
+    def test_zero_weight_ignored(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 0])
+        w = np.array([1.0, 1.0, 0.0, 1.0])
+        tree = DecisionTreeClassifier().fit(X, y, sample_weight=w)
+        assert tree.predict(np.array([[2.0]]))[0] == 0
+
+    def test_negative_weight_rejected(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                X, y, sample_weight=np.array([1.0, -1.0])
+            )
+
+    def test_wrong_weight_shape_rejected(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, y, sample_weight=np.ones(3))
+
+
+class TestIntrospection:
+    def test_split_counts_sum_to_internal_nodes(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        internal = int(np.sum(tree.feature_ != -1))
+        assert tree.split_counts().sum() == internal
+
+    def test_split_counts_only_used_features(self):
+        X = np.column_stack(
+            [np.arange(40.0), np.zeros(40)]  # second feature constant
+        )
+        y = (X[:, 0] > 20).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        counts = tree.split_counts()
+        assert counts[1] == 0
+        assert counts[0] >= 1
+
+    def test_proba_reflects_leaf_purity(self):
+        X = np.array([[0.0], [0.0], [0.0], [1.0]])
+        y = np.array([1, 1, 0, 0])
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        proba = tree.predict_proba(np.array([[0.0]]))
+        assert proba[0, 1] == pytest.approx(2 / 3)

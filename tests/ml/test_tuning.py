@@ -1,0 +1,149 @@
+"""Tests for repro.ml.tuning."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, GradientBoostingClassifier
+from repro.ml.tuning import (
+    GridSearchResult,
+    ThresholdCalibration,
+    calibrate_threshold,
+    grid_search,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(40)
+    X = rng.normal(size=(240, 4))
+    y = (X[:, 0] - X[:, 1] + 0.5 * rng.normal(size=240) > 0).astype(int)
+    return X, y
+
+
+class TestGridSearch:
+    def test_empty_grid_rejected(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            grid_search(DecisionTreeClassifier, {}, X, y)
+
+    def test_empty_candidates_rejected(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            grid_search(DecisionTreeClassifier, {"max_depth": []}, X, y)
+
+    def test_unknown_metric_rejected(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            grid_search(
+                lambda **kw: DecisionTreeClassifier(**kw),
+                {"max_depth": [2]},
+                X,
+                y,
+                metric="auc",
+            )
+
+    def test_trials_cover_whole_grid(self, data):
+        X, y = data
+        result = grid_search(
+            lambda **kw: DecisionTreeClassifier(**kw),
+            {"max_depth": [2, 4], "min_samples_leaf": [1, 5]},
+            X,
+            y,
+            n_splits=3,
+        )
+        assert len(result.trials) == 4
+
+    def test_best_is_argmax_of_trials(self, data):
+        X, y = data
+        result = grid_search(
+            lambda **kw: GradientBoostingClassifier(
+                n_estimators=10, seed=0, **kw
+            ),
+            {"max_depth": [1, 3]},
+            X,
+            y,
+            n_splits=3,
+        )
+        best_from_trials = max(t[1]["f1"] for t in result.trials)
+        assert result.best_score == pytest.approx(best_from_trials)
+
+    def test_params_reach_factory(self, data):
+        X, y = data
+        seen = []
+
+        def factory(**kw):
+            seen.append(kw)
+            return DecisionTreeClassifier(**kw)
+
+        grid_search(factory, {"max_depth": [2, 3]}, X, y, n_splits=3)
+        depths = {kw["max_depth"] for kw in seen}
+        assert depths == {2, 3}
+
+
+class TestCalibrateThreshold:
+    @pytest.fixture()
+    def scores(self):
+        rng = np.random.default_rng(41)
+        y = np.array([1] * 200 + [0] * 200)
+        proba = np.where(
+            y == 1,
+            np.clip(rng.normal(0.85, 0.1, 400), 0, 1),
+            np.clip(rng.normal(0.25, 0.15, 400), 0, 1),
+        )
+        return proba, y
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.zeros(3), np.zeros(4))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.zeros(4), np.ones(4))
+
+    def test_bad_prevalence_rejected(self, scores):
+        proba, y = scores
+        with pytest.raises(ValueError):
+            calibrate_threshold(proba, y, target_prevalence=1.5)
+
+    def test_meets_precision_floor(self, scores):
+        proba, y = scores
+        result = calibrate_threshold(proba, y, min_precision=0.9)
+        assert result.expected_precision >= 0.9
+
+    def test_lower_floor_gives_lower_threshold(self, scores):
+        proba, y = scores
+        loose = calibrate_threshold(proba, y, min_precision=0.6)
+        strict = calibrate_threshold(proba, y, min_precision=0.95)
+        assert loose.threshold <= strict.threshold
+        assert loose.expected_recall >= strict.expected_recall
+
+    def test_prevalence_shift_raises_threshold(self, scores):
+        proba, y = scores
+        balanced = calibrate_threshold(proba, y, min_precision=0.8)
+        deployed = calibrate_threshold(
+            proba, y, min_precision=0.8, target_prevalence=0.01
+        )
+        # At 1% prevalence the same precision needs a stricter cut.
+        assert deployed.threshold >= balanced.threshold
+
+    def test_curve_covers_grid(self, scores):
+        proba, y = scores
+        result = calibrate_threshold(proba, y, grid=[0.1, 0.5, 0.9])
+        assert len(result.curve) == 3
+
+    def test_unreachable_floor_returns_best_effort(self, scores):
+        proba, y = scores
+        result = calibrate_threshold(
+            proba, y, min_precision=1.0, target_prevalence=0.001
+        )
+        # Falls back to the most precise point instead of failing.
+        assert isinstance(result, ThresholdCalibration)
+        assert result.expected_precision == max(
+            p for __, p, __r in result.curve
+        )
+
+    def test_recall_monotone_decreasing_along_curve(self, scores):
+        proba, y = scores
+        result = calibrate_threshold(proba, y)
+        recalls = [r for __, __p, r in result.curve]
+        assert all(a >= b - 1e-12 for a, b in zip(recalls, recalls[1:]))

@@ -1,0 +1,54 @@
+"""Tests for repro.semantics.corpus."""
+
+from repro.semantics.corpus import CommentCorpus
+
+
+class TestCommentCorpus:
+    def test_counts(self):
+        corpus = CommentCorpus([["a", "b"], ["a"]])
+        assert corpus.n_sentences == 2
+        assert corpus.n_tokens == 3
+        assert len(corpus) == 2
+
+    def test_vocabulary_shared(self):
+        corpus = CommentCorpus([["a", "b"], ["a"]])
+        assert corpus.vocabulary.count("a") == 2
+
+    def test_iteration(self):
+        sentences = [["x", "y"], ["z"]]
+        corpus = CommentCorpus(sentences)
+        assert list(corpus) == sentences
+
+    def test_getitem(self):
+        corpus = CommentCorpus([["x"], ["y"]])
+        assert corpus[1] == ["y"]
+
+    def test_encoded_default_vocab(self):
+        corpus = CommentCorpus([["a", "b"], ["b"]])
+        encoded = corpus.encoded()
+        assert encoded[0] == [0, 1]
+        assert encoded[1] == [1]
+
+    def test_encoded_foreign_vocab_drops_unknown(self):
+        from repro.text.vocabulary import Vocabulary
+
+        corpus = CommentCorpus([["a", "zz"]])
+        vocab = Vocabulary({"a": 1})
+        assert corpus.encoded(vocab) == [[0]]
+
+    def test_extend_updates_vocab(self):
+        corpus = CommentCorpus([["a"]])
+        corpus.extend([["b", "b"]])
+        assert corpus.n_sentences == 2
+        assert corpus.vocabulary.count("b") == 2
+
+    def test_empty_corpus(self):
+        corpus = CommentCorpus([])
+        assert corpus.n_tokens == 0
+        assert len(corpus.vocabulary) == 0
+
+    def test_copies_input_sentences(self):
+        sentence = ["a", "b"]
+        corpus = CommentCorpus([sentence])
+        sentence.append("c")
+        assert corpus[0] == ["a", "b"]

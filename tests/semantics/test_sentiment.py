@@ -1,0 +1,95 @@
+"""Tests for repro.semantics.sentiment."""
+
+import numpy as np
+import pytest
+
+from repro.semantics.sentiment import SentimentModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    docs = [
+        ["good", "nice", "item"],
+        ["good", "love"],
+        ["nice", "love", "great"],
+        ["bad", "awful", "item"],
+        ["bad", "broken"],
+        ["awful", "broken", "worst"],
+    ]
+    labels = [1, 1, 1, 0, 0, 0]
+    return SentimentModel().fit(docs, labels)
+
+
+class TestFit:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SentimentModel().fit([["a"]], [1, 0])
+
+    def test_empty_corpus(self):
+        with pytest.raises(ValueError):
+            SentimentModel().fit([], [])
+
+    def test_fit_returns_self(self):
+        model = SentimentModel()
+        assert model.fit([["a"], ["b"]], [1, 0]) is model
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SentimentModel().score(["a"])
+
+
+class TestScore:
+    def test_positive_words_score_high(self, model):
+        assert model.score(["good", "nice"]) > 0.8
+
+    def test_negative_words_score_low(self, model):
+        assert model.score(["bad", "awful"]) < 0.2
+
+    def test_score_in_unit_interval(self, model):
+        for doc in (["good"], ["bad"], ["item"], ["good", "bad"]):
+            assert 0.0 <= model.score(doc) <= 1.0
+
+    def test_unknown_words_fall_back_to_prior(self, model):
+        assert model.score(["xyzzy", "quux"]) == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_comment_scores_prior(self, model):
+        assert model.score([]) == pytest.approx(0.5, abs=0.05)
+
+    def test_mixed_comment_intermediate(self, model):
+        mixed = model.score(["good", "bad"])
+        assert model.score(["bad"]) < mixed < model.score(["good"])
+
+    def test_score_many_matches_score(self, model):
+        docs = [["good"], ["bad"]]
+        assert model.score_many(docs) == [
+            model.score(docs[0]),
+            model.score(docs[1]),
+        ]
+
+    def test_predict_thresholds(self, model):
+        assert model.predict(["good", "nice"]) == 1
+        assert model.predict(["bad", "awful"]) == 0
+
+
+class TestOnSyntheticLanguage:
+    def test_separates_language_styles(self, language, rng):
+        """Trained on the synthetic sentiment corpus, the model
+        separates promo comments from complaints."""
+        from repro.ecommerce.language import (
+            ORGANIC_NEGATIVE_STYLE,
+            PROMO_STYLE,
+        )
+
+        docs, labels = language.sentiment_corpus(800, rng)
+        model = SentimentModel().fit(docs, labels)
+        promo_scores = []
+        negative_scores = []
+        for __ in range(30):
+            __text, words = language.generate_comment(PROMO_STYLE, rng)
+            promo_scores.append(model.score(words))
+            __text, words = language.generate_comment(
+                ORGANIC_NEGATIVE_STYLE, rng
+            )
+            negative_scores.append(model.score(words))
+        assert np.mean(promo_scores) > 0.85
+        assert np.mean(negative_scores) < 0.4

@@ -1,0 +1,103 @@
+"""Tests for repro.semantics.similarity (lexicon expansion)."""
+
+import numpy as np
+import pytest
+
+from repro.semantics.similarity import expand_lexicon, most_similar
+from repro.semantics.word2vec import Word2Vec
+
+
+@pytest.fixture(scope="module")
+def model():
+    """Three separated families: pos0..7, neg0..7, mid0..7."""
+    rng = np.random.default_rng(31)
+    families = {
+        "pos": [f"pos{i}" for i in range(8)],
+        "neg": [f"neg{i}" for i in range(8)],
+        "mid": [f"mid{i}" for i in range(8)],
+    }
+    sentences = []
+    for __ in range(900):
+        name = ("pos", "neg", "mid")[int(rng.integers(0, 3))]
+        fam = families[name]
+        n = rng.integers(3, 7)
+        sentences.append([fam[i] for i in rng.integers(0, 8, n)])
+    return Word2Vec(
+        dim=16, window=3, epochs=20, learning_rate=0.1,
+        batch_size=256, min_count=1, subsample=0.0, seed=1,
+    ).fit(sentences)
+
+
+class TestMostSimilar:
+    def test_mean_query_prefers_family(self, model):
+        neighbors = [
+            w for w, __ in most_similar(model, ["pos0", "pos1"], k=5)
+        ]
+        assert sum(1 for w in neighbors if w.startswith("pos")) >= 4
+
+    def test_excludes_queries(self, model):
+        neighbors = [w for w, __ in most_similar(model, ["pos0"], k=10)]
+        assert "pos0" not in neighbors
+
+    def test_empty_words_rejected(self, model):
+        with pytest.raises(ValueError):
+            most_similar(model, [], k=3)
+
+
+class TestExpandLexicon:
+    def test_expands_within_family(self, model):
+        lexicon = expand_lexicon(
+            model, ["pos0"], k=5, max_size=8, min_similarity=0.3
+        )
+        family_share = sum(1 for w in lexicon if w.startswith("pos")) / len(
+            lexicon
+        )
+        assert family_share > 0.8
+
+    def test_respects_max_size(self, model):
+        lexicon = expand_lexicon(
+            model, ["pos0"], k=8, max_size=5, min_similarity=0.0
+        )
+        assert len(lexicon) <= 5
+
+    def test_seeds_always_included(self, model):
+        lexicon = expand_lexicon(model, ["pos0", "pos1"], max_size=10)
+        assert "pos0" in lexicon and "pos1" in lexicon
+
+    def test_unknown_seeds_skipped(self, model):
+        lexicon = expand_lexicon(
+            model, ["pos0", "notaword"], k=3, max_size=6
+        )
+        assert "notaword" not in lexicon
+
+    def test_all_unknown_seeds_raise(self, model):
+        with pytest.raises(ValueError):
+            expand_lexicon(model, ["nope1", "nope2"])
+
+    def test_max_size_below_seed_count_raises(self, model):
+        with pytest.raises(ValueError):
+            expand_lexicon(model, ["pos0", "pos1", "pos2"], max_size=2)
+
+    def test_high_threshold_blocks_expansion(self, model):
+        lexicon = expand_lexicon(
+            model, ["pos0"], k=5, max_size=20, min_similarity=0.999999
+        )
+        assert lexicon == ["pos0"]
+
+    def test_no_duplicates(self, model):
+        lexicon = expand_lexicon(
+            model, ["pos0"], k=6, max_size=16, min_similarity=0.0
+        )
+        assert len(lexicon) == len(set(lexicon))
+
+    def test_round_limit_respected(self, model):
+        one_round = expand_lexicon(
+            model,
+            ["pos0"],
+            k=2,
+            max_size=24,
+            min_similarity=0.0,
+            max_rounds=1,
+        )
+        # One round from a single seed adds at most k words.
+        assert len(one_round) <= 3

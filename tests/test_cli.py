@@ -1,0 +1,95 @@
+"""Tests for the cats command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.persistence import save_cats
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory, trained_cats):
+    path = tmp_path_factory.mktemp("cli_model")
+    save_cats(trained_cats, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", "/tmp/m", "--scale", "0.01"]
+        )
+        assert args.scale == 0.01
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["crawl", "/tmp/d", "--platform", "amazon"]
+            )
+
+
+class TestCrawlCommand:
+    def test_crawl_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "crawl"
+        rc = main(
+            [
+                "crawl",
+                str(out),
+                "--scale",
+                "0.0002",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        assert (out / "comments.jsonl").exists()
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["collected"]["items"] > 0
+
+
+class TestDetectCommand:
+    def test_detect_on_crawled_data(self, tmp_path, model_dir, capsys):
+        crawl_dir = tmp_path / "crawl"
+        main(["crawl", str(crawl_dir), "--scale", "0.0002", "--seed", "4"])
+        capsys.readouterr()
+        rc = main(["detect", str(model_dir), str(crawl_dir)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "n_reported" in payload
+        assert payload["n_items"] > 0
+
+    def test_detect_output_file(self, tmp_path, model_dir, capsys):
+        crawl_dir = tmp_path / "crawl"
+        main(["crawl", str(crawl_dir), "--scale", "0.0002", "--seed", "5"])
+        out_file = tmp_path / "report.json"
+        main(
+            [
+                "detect",
+                str(model_dir),
+                str(crawl_dir),
+                "--output",
+                str(out_file),
+            ]
+        )
+        payload = json.loads(out_file.read_text())
+        assert "reported" in payload
+
+    def test_detect_missing_data(self, tmp_path, model_dir):
+        with pytest.raises(SystemExit):
+            main(["detect", str(model_dir), str(tmp_path / "empty")])
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_table(self, model_dir, capsys):
+        rc = main(
+            ["evaluate", str(model_dir), "--scale", "0.0005", "--seed", "9"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Precision" in out
+        assert "overall fraud items" in out

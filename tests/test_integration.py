@@ -1,0 +1,72 @@
+"""End-to-end integration: the full paper workflow at miniature scale.
+
+Train the analyzer, pre-train the detector on D0, evaluate on a D1-style
+imbalanced set, then crawl an E-platform website and run cross-platform
+detection with the audit -- the complete Sections II-IV pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adapters import crawled_view
+from repro.core.pipeline import (
+    audit_reported_items,
+    evaluate_on_dataset,
+    run_crawl,
+)
+from repro.datasets.builders import build_d1
+from repro.ml.metrics import precision_recall_f1
+
+
+class TestEndToEnd:
+    def test_d1_evaluation(self, trained_cats, language):
+        d1 = build_d1(language, scale=0.0008, seed=41)
+        result, report = evaluate_on_dataset(trained_cats, d1)
+        # Miniature-scale sanity bands; the benchmarks check the paper
+        # bands at larger scale.
+        assert result.recall > 0.5
+        assert result.precision > 0.3
+        assert report.filter_report["passed"] > 0
+
+    def test_crawl_then_detect_cross_platform(
+        self, trained_cats, eplatform
+    ):
+        store, crawler = run_crawl(
+            eplatform, failure_rate=0.05, duplicate_rate=0.02, seed=11
+        )
+        # Cleaning recovered the exact platform comment count.
+        assert store.summary()["comments"] == eplatform.n_comments
+        crawled = store.crawled_items()
+        report = trained_cats.detect(crawled)
+        labels = np.array(
+            [
+                1 if eplatform.item_by_id(ci.item_id).is_fraud else 0
+                for ci in crawled
+            ]
+        )
+        if labels.sum() and report.n_reported:
+            __, recall, __f = precision_recall_f1(
+                labels, report.is_fraud.astype(int)
+            )
+            assert recall > 0.3
+            audit = audit_reported_items(
+                eplatform, crawled, report, sample_size=100, seed=3
+            )
+            assert audit["n_audited"] > 0
+
+    def test_detection_deterministic(self, trained_cats, d0_small):
+        items = d0_small.items[:40]
+        a = trained_cats.detect(items)
+        b = trained_cats.detect(items)
+        np.testing.assert_array_equal(a.is_fraud, b.is_fraud)
+        np.testing.assert_array_equal(
+            a.fraud_probability, b.fraud_probability
+        )
+
+    def test_rule_filter_integrated(self, trained_cats, taobao_platform):
+        dead = [i for i in taobao_platform.items if i.sales_volume < 5]
+        if not dead:
+            pytest.skip("no dead items generated")
+        report = trained_cats.detect(dead)
+        assert report.n_reported == 0
+        assert not report.passed_filter.any()

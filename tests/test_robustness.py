@@ -1,0 +1,146 @@
+"""Robustness and property-based tests across module boundaries.
+
+The pipeline must survive arbitrary public text: a real crawl yields
+emoji, foreign alphabets, pathological repetition and empty strings.
+These tests fuzz the text -> features path and check cross-module
+invariants that no single unit test owns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.features import N_FEATURES, FeatureExtractor
+from repro.analysis.distributions import histogram
+
+arbitrary_text = st.text(max_size=120)
+weird_chars = st.text(
+    alphabet="abcxyz，。！？🎉é中文\t \n0123456789,.!?", max_size=80
+)
+
+
+class TestFeatureExtractorFuzz:
+    @given(st.lists(arbitrary_text, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_comment_lists_never_crash(self, analyzer, comments):
+        extractor = FeatureExtractor(analyzer)
+        vec = extractor.extract(comments)
+        assert vec.shape == (N_FEATURES,)
+        assert np.all(np.isfinite(vec))
+
+    @given(st.lists(weird_chars, min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_unicode_soup_never_crashes(self, analyzer, comments):
+        extractor = FeatureExtractor(analyzer)
+        vec = extractor.extract(comments)
+        assert np.all(np.isfinite(vec))
+
+    @given(st.lists(arbitrary_text, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_extraction_is_deterministic(self, analyzer, comments):
+        extractor = FeatureExtractor(analyzer)
+        np.testing.assert_array_equal(
+            extractor.extract(comments), extractor.extract(comments)
+        )
+
+    @given(st.lists(arbitrary_text, min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_features_stay_bounded(self, analyzer, comments):
+        from repro.core.features import FEATURE_NAMES
+
+        extractor = FeatureExtractor(analyzer)
+        vec = extractor.extract(comments)
+        for name in (
+            "uniqueWordRatio",
+            "averageSentiment",
+            "averagePunctuationRatio",
+            "averageNgramRatio",
+        ):
+            value = vec[FEATURE_NAMES.index(name)]
+            assert 0.0 <= value <= 1.0, name
+
+
+class TestSegmenterFuzz:
+    @given(weird_chars)
+    @settings(max_examples=60, deadline=None)
+    def test_segment_covers_non_punctuation(self, analyzer, text):
+        from repro.text.tokenizer import PUNCTUATION
+
+        words = analyzer.segment(text)
+        expected = "".join(
+            ch for ch in text if ch not in PUNCTUATION and not ch.isspace()
+        )
+        assert "".join(words) == expected
+
+
+class TestSentimentFuzz:
+    @given(st.lists(st.text(max_size=12), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_score_always_unit_interval(self, analyzer, words):
+        score = analyzer.sentiment.score(words)
+        assert 0.0 <= score <= 1.0
+
+
+class TestHistogramMass:
+    def test_mass_below_extremes(self):
+        hist = histogram([1.0, 2.0, 3.0, 4.0], bins=4)
+        assert hist.mass_below(hist.edges[0]) == pytest.approx(0.0, abs=1e-9)
+        assert hist.mass_below(hist.edges[-1] + 1) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=2, max_size=50
+        ),
+        st.floats(-12, 12, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_mass_below_monotone_and_bounded(self, values, x):
+        hist = histogram(values, bins=8)
+        mass = hist.mass_below(x)
+        assert -1e-9 <= mass <= 1.0 + 1e-9
+        assert hist.mass_below(x - 1.0) <= mass + 1e-9
+
+
+class TestWord2VecSubsampling:
+    def test_subsampling_reduces_frequent_word_pairs(self):
+        from repro.semantics.word2vec import Word2Vec
+
+        rng = np.random.default_rng(50)
+        # One dominant word plus rare words.
+        sentences = [
+            ["the", f"w{rng.integers(0, 20)}", "the", "the"]
+            for __ in range(300)
+        ]
+        plain = Word2Vec(
+            dim=8, epochs=1, min_count=1, subsample=0.0, seed=0
+        )
+        sampled = Word2Vec(
+            dim=8, epochs=1, min_count=1, subsample=1e-3, seed=0
+        )
+        plain.fit(sentences)
+        sampled.fit(sentences)
+        # Both train fine; the subsampled model keeps the same vocab.
+        assert "the" in plain and "the" in sampled
+
+
+class TestDetectorEdgeCases:
+    def test_detect_all_filtered_batch(self, trained_cats):
+        class Dead:
+            sales_volume = 0
+            comment_texts: list = []
+            comments: list = []
+
+        report = trained_cats.detect([Dead(), Dead()])
+        assert report.n_reported == 0
+        assert not report.passed_filter.any()
+
+    def test_detect_single_item(self, trained_cats, d0_small):
+        report = trained_cats.detect(d0_small.items[:1])
+        assert report.is_fraud.shape == (1,)
+
+    def test_probabilities_in_unit_interval(self, trained_cats, d0_small):
+        report = trained_cats.detect(d0_small.items[:50])
+        assert np.all(report.fraud_probability >= 0.0)
+        assert np.all(report.fraud_probability <= 1.0)

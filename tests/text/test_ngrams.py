@@ -1,0 +1,103 @@
+"""Tests for repro.text.ngrams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.ngrams import (
+    bigrams,
+    is_positive_bigram,
+    ngrams,
+    positive_bigram_count,
+)
+
+
+class TestNgrams:
+    def test_bigrams_basic(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_n_longer_than_sequence(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_empty_sequence(self):
+        assert ngrams([], 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_trigrams(self):
+        assert ngrams(["a", "b", "c", "d"], 3) == [
+            ("a", "b", "c"),
+            ("b", "c", "d"),
+        ]
+
+    @given(st.lists(st.text(max_size=3), max_size=20), st.integers(1, 5))
+    def test_count_formula(self, words, n):
+        result = ngrams(words, n)
+        assert len(result) == max(0, len(words) - n + 1)
+
+
+class TestBigrams:
+    def test_matches_ngrams(self):
+        words = ["x", "y", "z", "w"]
+        assert bigrams(words) == ngrams(words, 2)
+
+    def test_empty(self):
+        assert bigrams([]) == []
+
+    def test_single_word(self):
+        assert bigrams(["a"]) == []
+
+
+class TestPositiveBigram:
+    def test_first_member_positive(self):
+        assert is_positive_bigram(("good", "thing"), {"good"})
+
+    def test_second_member_positive(self):
+        assert is_positive_bigram(("thing", "good"), {"good"})
+
+    def test_neither_positive(self):
+        assert not is_positive_bigram(("a", "b"), {"good"})
+
+    def test_accepts_list_lexicon(self):
+        assert is_positive_bigram(("good", "x"), ["good"])
+
+
+class TestPositiveBigramCount:
+    def test_basic_count(self):
+        # bigrams: (good,item) (item,bad) -> only first has a positive.
+        assert positive_bigram_count(["good", "item", "bad"], {"good"}) == 1
+
+    def test_adjacent_positives_count_twice(self):
+        # (good,nice) (nice,x): both contain a positive member.
+        assert (
+            positive_bigram_count(["good", "nice", "x"], {"good", "nice"})
+            == 2
+        )
+
+    def test_no_positives(self):
+        assert positive_bigram_count(["a", "b", "c"], {"zz"}) == 0
+
+    def test_short_input(self):
+        assert positive_bigram_count(["good"], {"good"}) == 0
+
+    @given(
+        st.lists(st.sampled_from(["p", "q", "n"]), max_size=25),
+        st.just(frozenset({"p", "q"})),
+    )
+    def test_bounded_by_bigram_count(self, words, positive):
+        count = positive_bigram_count(words, positive)
+        assert 0 <= count <= max(0, len(words) - 1)
+
+    @given(st.lists(st.sampled_from(["p", "n"]), min_size=2, max_size=25))
+    def test_matches_naive_definition(self, words):
+        positive = frozenset({"p"})
+        naive = sum(
+            1
+            for i in range(len(words) - 1)
+            if is_positive_bigram((words[i], words[i + 1]), positive)
+        )
+        assert positive_bigram_count(words, positive) == naive

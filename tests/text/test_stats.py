@@ -1,0 +1,94 @@
+"""Tests for repro.text.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.stats import (
+    comment_entropy,
+    comment_length,
+    duplicate_word_count,
+    punctuation_count,
+    punctuation_ratio,
+    unique_word_ratio,
+)
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert comment_entropy([]) == 0.0
+
+    def test_single_word_is_zero(self):
+        assert comment_entropy(["a"]) == 0.0
+
+    def test_all_same_is_zero(self):
+        assert comment_entropy(["a", "a", "a"]) == 0.0
+
+    def test_uniform_two_words(self):
+        assert comment_entropy(["a", "b"]) == pytest.approx(math.log(2))
+
+    def test_uniform_four_words(self):
+        assert comment_entropy(["a", "b", "c", "d"]) == pytest.approx(
+            math.log(4)
+        )
+
+    def test_skewed_below_uniform(self):
+        skewed = comment_entropy(["a", "a", "a", "b"])
+        uniform = comment_entropy(["a", "a", "b", "b"])
+        assert skewed < uniform
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=40))
+    def test_bounds(self, words):
+        h = comment_entropy(words)
+        assert 0.0 <= h <= math.log(len(set(words))) + 1e-9
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=20))
+    def test_invariant_under_permutation(self, words):
+        assert comment_entropy(words) == pytest.approx(
+            comment_entropy(sorted(words))
+        )
+
+
+class TestUniqueWordRatio:
+    def test_empty_is_zero(self):
+        assert unique_word_ratio([]) == 0.0
+
+    def test_all_unique(self):
+        assert unique_word_ratio(["a", "b", "c"]) == 1.0
+
+    def test_all_duplicates(self):
+        assert unique_word_ratio(["a", "a", "a", "a"]) == 0.25
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=30))
+    def test_in_unit_interval(self, words):
+        assert 0.0 < unique_word_ratio(words) <= 1.0
+
+
+class TestPunctuation:
+    def test_count(self):
+        assert punctuation_count("a,b!c") == 2
+
+    def test_ratio(self):
+        assert punctuation_ratio("a,b!") == pytest.approx(0.5)
+
+    def test_ratio_empty(self):
+        assert punctuation_ratio("") == 0.0
+
+    def test_ratio_bounds(self):
+        assert 0.0 <= punctuation_ratio("ab,.") <= 1.0
+
+
+class TestLengthAndDuplicates:
+    def test_comment_length(self):
+        assert comment_length(["a", "b"]) == 2
+
+    def test_duplicate_count_none(self):
+        assert duplicate_word_count(["a", "b"]) == 0
+
+    def test_duplicate_count_some(self):
+        assert duplicate_word_count(["a", "a", "b", "a"]) == 2
+
+    @given(st.lists(st.sampled_from("ab"), max_size=25))
+    def test_duplicates_plus_uniques_is_total(self, words):
+        assert duplicate_word_count(words) + len(set(words)) == len(words)

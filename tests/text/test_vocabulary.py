@@ -1,0 +1,132 @@
+"""Tests for repro.text.vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.vocabulary import Vocabulary
+
+words = st.text(alphabet="abcdef", min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_empty(self):
+        vocab = Vocabulary()
+        assert len(vocab) == 0
+        assert vocab.total_count == 0
+
+    def test_from_counts(self):
+        vocab = Vocabulary({"a": 3, "b": 1})
+        assert len(vocab) == 2
+        assert vocab.count("a") == 3
+
+    def test_from_sentences(self):
+        vocab = Vocabulary.from_sentences([["a", "b"], ["a"]])
+        assert vocab.count("a") == 2
+        assert vocab.count("b") == 1
+
+    def test_add_rejects_nonpositive_count(self):
+        vocab = Vocabulary()
+        with pytest.raises(ValueError):
+            vocab.add("a", 0)
+
+    def test_ids_are_contiguous(self):
+        vocab = Vocabulary()
+        ids = [vocab.add(w) for w in ("x", "y", "z")]
+        assert ids == [0, 1, 2]
+
+    def test_re_adding_keeps_id(self):
+        vocab = Vocabulary()
+        first = vocab.add("x")
+        second = vocab.add("x")
+        assert first == second
+        assert vocab.count("x") == 2
+
+
+class TestLookups:
+    def test_contains(self):
+        vocab = Vocabulary({"a": 1})
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_word_id_roundtrip(self):
+        vocab = Vocabulary({"a": 1, "b": 2})
+        for word in vocab:
+            assert vocab.word(vocab.word_id(word)) == word
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary({"a": 1}).word_id("b")
+
+    def test_count_unknown_is_zero(self):
+        assert Vocabulary({"a": 1}).count("zz") == 0
+
+    def test_encode_drops_unknown(self):
+        vocab = Vocabulary({"a": 1, "b": 1})
+        assert vocab.encode(["a", "zz", "b"]) == [0, 1]
+
+    def test_decode_inverts_encode(self):
+        vocab = Vocabulary({"a": 1, "b": 1})
+        assert vocab.decode(vocab.encode(["b", "a"])) == ["b", "a"]
+
+
+class TestStatistics:
+    def test_total_count(self):
+        vocab = Vocabulary({"a": 3, "b": 2})
+        assert vocab.total_count == 5
+
+    def test_counts_array_matches_ids(self):
+        vocab = Vocabulary()
+        vocab.add("a", 3)
+        vocab.add("b", 1)
+        arr = vocab.counts_array()
+        assert arr[vocab.word_id("a")] == 3
+        assert arr[vocab.word_id("b")] == 1
+        assert arr.dtype == np.int64
+
+    def test_frequency_sums_to_one(self):
+        vocab = Vocabulary({"a": 3, "b": 1})
+        total = sum(vocab.frequency(w) for w in vocab)
+        assert total == pytest.approx(1.0)
+
+    def test_frequency_of_empty_vocab(self):
+        assert Vocabulary().frequency("a") == 0.0
+
+    def test_most_common_order(self):
+        vocab = Vocabulary({"a": 1, "b": 5, "c": 3})
+        assert [w for w, __ in vocab.most_common()] == ["b", "c", "a"]
+
+    def test_most_common_k(self):
+        vocab = Vocabulary({"a": 1, "b": 5, "c": 3})
+        assert len(vocab.most_common(2)) == 2
+
+
+class TestPrune:
+    def test_prune_drops_rare(self):
+        vocab = Vocabulary({"a": 5, "b": 1})
+        pruned = vocab.prune(min_count=2)
+        assert "a" in pruned
+        assert "b" not in pruned
+
+    def test_prune_preserves_counts(self):
+        vocab = Vocabulary({"a": 5, "b": 1})
+        assert vocab.prune(2).count("a") == 5
+
+    def test_prune_does_not_mutate_original(self):
+        vocab = Vocabulary({"a": 5, "b": 1})
+        vocab.prune(2)
+        assert "b" in vocab
+
+
+class TestProperties:
+    @given(st.lists(st.lists(words, max_size=8), max_size=10))
+    def test_total_count_equals_token_count(self, sentences):
+        vocab = Vocabulary.from_sentences(sentences)
+        assert vocab.total_count == sum(len(s) for s in sentences)
+
+    @given(st.lists(words, min_size=1, max_size=30))
+    def test_encode_values_in_range(self, sentence):
+        vocab = Vocabulary.from_sentences([sentence])
+        encoded = vocab.encode(sentence)
+        assert len(encoded) == len(sentence)
+        assert all(0 <= i < len(vocab) for i in encoded)
