@@ -1,0 +1,19 @@
+# Builder entry points.  `make verify` is the one-command check used
+# before shipping: tier-1 tests + the streaming smoke bench.
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: verify test bench-smoke bench
+
+verify:
+	sh scripts/verify.sh
+
+test:
+	python -m pytest -x -q
+
+bench-smoke:
+	python benchmarks/bench_streaming_throughput.py --quick
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only

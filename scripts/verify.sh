@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# One-command builder verification: the tier-1 test suite plus the
+# streaming-throughput smoke bench (which asserts the incremental
+# extraction invariants, not just timings).  Also available as
+# `make verify`.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "==> streaming throughput smoke bench (--quick)"
+python benchmarks/bench_streaming_throughput.py --quick
+
+echo "==> tier-1 test suite"
+python -m pytest -x -q
+
+echo "==> verify OK"

@@ -81,7 +81,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     items = store.crawled_items()
     if not items:
         raise SystemExit(f"no items found in {args.data_dir}")
-    report = cats.detect(items)
+    report = cats.detect(items, n_workers=args.workers)
     rows = []
     for idx in report.reported_indices():
         item = items[idx]
@@ -118,7 +118,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     cats = load_cats(args.model_dir)
     d1 = build_d1(default_language(), scale=args.scale, seed=args.seed)
-    result, report = evaluate_on_dataset(cats, d1)
+    result, report = evaluate_on_dataset(cats, d1, n_workers=args.workers)
     print(
         render_table(
             ["Category", "Precision", "Recall", "F-score"],
@@ -166,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--output", default=None, help="write the JSON report here"
     )
+    detect.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for feature extraction (default serial)",
+    )
     detect.set_defaults(func=_cmd_detect)
 
     evaluate = sub.add_parser(
@@ -174,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("model_dir", help="trained model directory")
     evaluate.add_argument("--scale", type=float, default=0.003)
     evaluate.add_argument("--seed", type=int, default=200)
+    evaluate.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for feature extraction (default serial)",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
     return parser
 

@@ -28,7 +28,12 @@ from repro.core.extended_features import (
 from repro.core.persistence import load_cats, save_cats
 from repro.core.config import CATSConfig
 from repro.core.detector import Detector, DetectionReport
-from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.features import (
+    FEATURE_NAMES,
+    CommentStats,
+    FeatureExtractor,
+    ItemAccumulator,
+)
 from repro.core.lexicon import SentimentLexicon, build_lexicon_pair
 from repro.core.rules import RuleFilter
 from repro.core.streaming import Alert, StreamingDetector
@@ -44,7 +49,9 @@ __all__ = [
     "DetectionReport",
     "Detector",
     "FEATURE_NAMES",
+    "CommentStats",
     "FeatureExtractor",
+    "ItemAccumulator",
     "RuleFilter",
     "SemanticAnalyzer",
     "SentimentLexicon",

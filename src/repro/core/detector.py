@@ -142,7 +142,7 @@ class Detector:
         :class:`~repro.collector.records.CrawledItem` do).
         """
         features = np.asarray(feature_matrix, dtype=np.float64)
-        passed = self.rule_filter.mask(items, features)
+        passed, filter_report = self.rule_filter.evaluate(items, features)
         proba = np.zeros(len(items))
         if passed.any():
             proba[passed] = self.predict_proba(features[passed])
@@ -151,7 +151,7 @@ class Detector:
             is_fraud=flagged,
             fraud_probability=proba,
             passed_filter=passed,
-            filter_report=self.rule_filter.filter_report(items, features),
+            filter_report=filter_report,
         )
 
     # -- introspection -----------------------------------------------------

@@ -1,4 +1,4 @@
-"""The 11-feature extractor (paper Table II).
+"""The 11-feature extractor (paper Table II), incremental and parallel.
 
 Given one item's comments, the extractor produces:
 
@@ -25,11 +25,40 @@ with at least one member in P.
 All features are computed from the raw comment text plus its
 segmentation; the semantic analyzer supplies segmentation, lexicons and
 sentiment.
+
+Incremental computation
+-----------------------
+
+Every feature above is decomposable into per-comment statistics plus
+running sums over them:
+
+* :class:`CommentStats` captures everything a single comment contributes
+  (one segmentation + one sentiment call, computed exactly once);
+* :class:`ItemAccumulator` folds ``CommentStats`` into running sums (and
+  a unique-word multiset) so that :meth:`ItemAccumulator.to_vector` is
+  O(1) after O(new comments) updates.
+
+``FeatureExtractor.extract`` itself is implemented on top of the
+accumulator, so batch and incremental extraction are *bit-identical* by
+construction when comments are folded in the same order -- the invariant
+the streaming detector relies on (see :mod:`repro.core.streaming`).
+
+Parallel batches
+----------------
+
+``extract_many``/``extract_items`` accept an opt-in ``n_workers``
+parameter.  With ``n_workers > 1`` the item batch is split into
+contiguous chunks that are extracted in worker processes; rows are
+computed independently, so the resulting matrix equals the serial
+result exactly.  The default stays serial (spawning processes is not
+worth it for small batches).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -59,6 +88,138 @@ FEATURE_NAMES: tuple[str, ...] = (
 N_FEATURES = len(FEATURE_NAMES)
 
 
+@dataclass(frozen=True)
+class CommentStats:
+    """Everything one comment contributes to the Table II features.
+
+    Computing these costs one segmentation and one sentiment call; the
+    values are immutable afterwards, so a comment is analyzed exactly
+    once however often its item is (re-)scored.
+    """
+
+    #: Comment length in words (segmentation result).
+    n_words: int
+    #: Word -> occurrence count inside this comment.
+    word_counts: Counter
+    #: ``|C_j ^ P|`` -- distinct positive words.
+    n_positive_distinct: int
+    #: ``abs(|C_j ^ P| - |C_j ^ N|)``.
+    pos_neg_delta: int
+    #: Per-comment ``P(positive)``.
+    sentiment: float
+    #: Per-comment word entropy (nats).
+    entropy: float
+    #: Punctuation marks in the raw text.
+    n_punctuation: int
+    #: Punctuation marks per raw character.
+    punctuation_ratio: float
+    #: Contiguous 2-grams with a positive member.
+    n_positive_bigrams: int
+    #: ``#pos-2grams / (|C_j| - 1)`` -- the per-comment ngram-ratio
+    #: term (0.0 for comments shorter than two words).
+    bigram_ratio_term: float
+
+
+@dataclass
+class ItemAccumulator:
+    """Running sums behind one item's feature vector.
+
+    Fold comments in with :meth:`add`; read the current Table II vector
+    with :meth:`to_vector` in O(1).  Folding the same comments in the
+    same order as a batch :meth:`FeatureExtractor.extract` call yields a
+    bit-identical vector (running sums see the identical float-addition
+    sequence).
+    """
+
+    n_comments: int = 0
+    sum_positive_distinct: int = 0
+    sum_pos_neg_delta: int = 0
+    total_words: int = 0
+    #: Unique-word multiset: word -> total occurrences over all folded
+    #: comments.  ``len(word_counts)`` is the distinct-word count; the
+    #: multiset (rather than a set) keeps :meth:`remove` well-defined.
+    word_counts: Counter = field(default_factory=Counter)
+    sum_sentiment: float = 0.0
+    sum_entropy: float = 0.0
+    sum_punctuation: int = 0
+    sum_punctuation_ratio: float = 0.0
+    sum_positive_bigrams: int = 0
+    sum_bigram_ratio_terms: float = 0.0
+
+    def add(self, stats: CommentStats) -> None:
+        """Fold one comment's statistics into the running sums."""
+        self.n_comments += 1
+        self.sum_positive_distinct += stats.n_positive_distinct
+        self.sum_pos_neg_delta += stats.pos_neg_delta
+        self.total_words += stats.n_words
+        self.word_counts.update(stats.word_counts)
+        self.sum_sentiment += stats.sentiment
+        self.sum_entropy += stats.entropy
+        self.sum_punctuation += stats.n_punctuation
+        self.sum_punctuation_ratio += stats.punctuation_ratio
+        self.sum_positive_bigrams += stats.n_positive_bigrams
+        self.sum_bigram_ratio_terms += stats.bigram_ratio_term
+
+    def add_many(self, stats_list: Sequence[CommentStats]) -> None:
+        """Fold a batch of comment statistics, in order."""
+        for stats in stats_list:
+            self.add(stats)
+
+    def remove(self, stats: CommentStats) -> None:
+        """Unfold one previously-added comment (e.g. a deleted review).
+
+        Integer counts are exact; float sums are reversed arithmetically,
+        which can differ from a fresh accumulation by rounding noise --
+        the bit-identity invariant only covers append-only use.
+        """
+        if self.n_comments == 0:
+            raise ValueError("cannot remove from an empty accumulator")
+        self.n_comments -= 1
+        self.sum_positive_distinct -= stats.n_positive_distinct
+        self.sum_pos_neg_delta -= stats.pos_neg_delta
+        self.total_words -= stats.n_words
+        for word, count in stats.word_counts.items():
+            remaining = self.word_counts[word] - count
+            if remaining > 0:
+                self.word_counts[word] = remaining
+            else:
+                del self.word_counts[word]
+        self.sum_sentiment -= stats.sentiment
+        self.sum_entropy -= stats.entropy
+        self.sum_punctuation -= stats.n_punctuation
+        self.sum_punctuation_ratio -= stats.punctuation_ratio
+        self.sum_positive_bigrams -= stats.n_positive_bigrams
+        self.sum_bigram_ratio_terms -= stats.bigram_ratio_term
+
+    @property
+    def n_unique_words(self) -> int:
+        """Distinct words over all folded comments."""
+        return len(self.word_counts)
+
+    def to_vector(self) -> np.ndarray:
+        """Current Table II feature vector; all-zero when empty."""
+        n = self.n_comments
+        if n == 0:
+            return np.zeros(N_FEATURES)
+        return np.array(
+            [
+                self.sum_positive_distinct / n,
+                self.sum_pos_neg_delta / n,
+                (len(self.word_counts) / self.total_words)
+                if self.total_words
+                else 0.0,
+                self.sum_sentiment / n,
+                self.sum_entropy / n,
+                self.total_words / n,
+                float(self.total_words),
+                float(self.sum_punctuation),
+                self.sum_punctuation_ratio / n,
+                self.sum_positive_bigrams / n,
+                self.sum_bigram_ratio_terms / n,
+            ]
+        )
+
+
 class FeatureExtractor:
     """Computes the Table II feature vector for items.
 
@@ -72,6 +233,40 @@ class FeatureExtractor:
     def __init__(self, analyzer: SemanticAnalyzer) -> None:
         self.analyzer = analyzer
 
+    # -- per-comment statistics -------------------------------------------
+
+    def comment_stats(self, text: str) -> CommentStats:
+        """Analyze one raw comment into its feature contributions.
+
+        This is the only place segmentation and sentiment run; both the
+        batch and the incremental paths go through it.
+        """
+        words = self.analyzer.segment(text)
+        word_set = set(words)
+        positive = self.analyzer.lexicon.positive
+        negative = self.analyzer.lexicon.negative
+        n_pos = len(word_set & positive)
+        n_neg = len(word_set & negative)
+        n_bigrams_pos = positive_bigram_count(words, positive)
+        return CommentStats(
+            n_words=len(words),
+            word_counts=Counter(words),
+            n_positive_distinct=n_pos,
+            pos_neg_delta=abs(n_pos - n_neg),
+            sentiment=self.analyzer.sentiment.score(words),
+            entropy=comment_entropy(words),
+            n_punctuation=punctuation_count(text),
+            punctuation_ratio=punctuation_ratio(text),
+            n_positive_bigrams=n_bigrams_pos,
+            bigram_ratio_term=(
+                n_bigrams_pos / (len(words) - 1) if len(words) > 1 else 0.0
+            ),
+        )
+
+    def make_accumulator(self) -> ItemAccumulator:
+        """A fresh, empty per-item accumulator."""
+        return ItemAccumulator()
+
     # -- single item ------------------------------------------------------
 
     def extract(self, comments: Sequence[str]) -> np.ndarray:
@@ -80,74 +275,80 @@ class FeatureExtractor:
         An item with no comments yields the all-zero vector (such items
         are normally removed by the rule filter first).
         """
-        n_comments = len(comments)
-        if n_comments == 0:
-            return np.zeros(N_FEATURES)
-
-        positive = self.analyzer.lexicon.positive
-        negative = self.analyzer.lexicon.negative
-
-        sum_pos_distinct = 0
-        sum_abs_pos_neg = 0
-        total_words = 0
-        unique_words: set[str] = set()
-        sum_sentiment = 0.0
-        sum_entropy = 0.0
-        sum_punct = 0
-        sum_punct_ratio = 0.0
-        sum_pos_bigrams = 0
-        sum_bigram_ratio = 0.0
-
+        accumulator = ItemAccumulator()
         for text in comments:
-            words = self.analyzer.segment(text)
-            word_set = set(words)
-            n_pos = len(word_set & positive)
-            n_neg = len(word_set & negative)
-            sum_pos_distinct += n_pos
-            sum_abs_pos_neg += abs(n_pos - n_neg)
-            total_words += len(words)
-            unique_words |= word_set
-            sum_sentiment += self.analyzer.sentiment.score(words)
-            sum_entropy += comment_entropy(words)
-            sum_punct += punctuation_count(text)
-            sum_punct_ratio += punctuation_ratio(text)
-            n_bigrams_pos = positive_bigram_count(words, positive)
-            sum_pos_bigrams += n_bigrams_pos
-            if len(words) > 1:
-                sum_bigram_ratio += n_bigrams_pos / (
-                    n_comments * (len(words) - 1)
-                )
-
-        return np.array(
-            [
-                sum_pos_distinct / n_comments,
-                sum_abs_pos_neg / n_comments,
-                (len(unique_words) / total_words) if total_words else 0.0,
-                sum_sentiment / n_comments,
-                sum_entropy / n_comments,
-                total_words / n_comments,
-                float(total_words),
-                float(sum_punct),
-                sum_punct_ratio / n_comments,
-                sum_pos_bigrams / n_comments,
-                sum_bigram_ratio,
-            ]
-        )
+            accumulator.add(self.comment_stats(text))
+        return accumulator.to_vector()
 
     # -- batches -----------------------------------------------------------
 
     def extract_many(
-        self, comment_lists: Sequence[Sequence[str]]
+        self,
+        comment_lists: Sequence[Sequence[str]],
+        n_workers: int | None = None,
     ) -> np.ndarray:
-        """Feature matrix for a batch of items (rows follow input order)."""
+        """Feature matrix for a batch of items (rows follow input order).
+
+        Parameters
+        ----------
+        comment_lists:
+            One comment-text list per item.
+        n_workers:
+            When > 1, extract contiguous chunks of the batch in that
+            many worker processes.  Rows are independent, so the result
+            equals the serial matrix exactly.  ``None``/``0``/``1``
+            stays serial.
+        """
         if len(comment_lists) == 0:
             return np.zeros((0, N_FEATURES))
+        if n_workers and n_workers > 1 and len(comment_lists) > 1:
+            matrix = self._extract_many_parallel(comment_lists, n_workers)
+            if matrix is not None:
+                return matrix
         return np.vstack([self.extract(c) for c in comment_lists])
 
-    def extract_items(self, items: Sequence) -> np.ndarray:
+    def _extract_chunk(
+        self, comment_lists: Sequence[Sequence[str]]
+    ) -> np.ndarray:
+        """Worker entry point: serial extraction of one chunk."""
+        return np.vstack([self.extract(c) for c in comment_lists])
+
+    def _extract_many_parallel(
+        self,
+        comment_lists: Sequence[Sequence[str]],
+        n_workers: int,
+    ) -> np.ndarray | None:
+        """Chunked multi-process extraction; None when pools are unusable.
+
+        The extractor (analyzer included) is pickled once per chunk, so
+        chunks are as large as possible: one per worker.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        n_chunks = min(n_workers, len(comment_lists))
+        bounds = np.linspace(0, len(comment_lists), n_chunks + 1).astype(int)
+        chunks = [
+            list(comment_lists[bounds[i] : bounds[i + 1]])
+            for i in range(n_chunks)
+            if bounds[i] < bounds[i + 1]
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=n_chunks) as pool:
+                rows = list(pool.map(self._extract_chunk, chunks))
+        except (OSError, PermissionError):
+            # Restricted environments (no process spawning) fall back
+            # to the serial path rather than failing the extraction.
+            return None
+        return np.vstack(rows)
+
+    def extract_items(
+        self, items: Sequence, n_workers: int | None = None
+    ) -> np.ndarray:
         """Feature matrix for objects exposing ``comment_texts``.
 
         Works with both :class:`repro.ecommerce.entities.Item` and
         :class:`repro.collector.records.CrawledItem`.
         """
-        return self.extract_many([item.comment_texts for item in items])
+        return self.extract_many(
+            [item.comment_texts for item in items], n_workers=n_workers
+        )

@@ -48,35 +48,24 @@ class RuleFilter:
                 return False
         return True
 
-    def mask(
-        self,
-        items: Sequence,
-        feature_matrix: np.ndarray,
-    ) -> np.ndarray:
-        """Boolean pass-mask for *items* (objects with ``sales_volume``
-        and ``comment_texts``) aligned with *feature_matrix* rows."""
+    def evaluate(
+        self, items: Sequence, feature_matrix: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """Pass-mask plus per-rule filtering counts in one pass.
+
+        Each item is attributed to its *first* failing rule (sales ->
+        comment count -> positive evidence), so the report's counts
+        partition the batch and the mask is True exactly for items in
+        the ``passed`` bucket.  :meth:`Detector.detect` uses this so
+        every rule evaluates once per item, not twice.
+        """
         if len(items) != feature_matrix.shape[0]:
             raise ValueError(
                 f"items ({len(items)}) and feature rows "
                 f"({feature_matrix.shape[0]}) disagree"
             )
-        return np.array(
-            [
-                self.passes(
-                    item.sales_volume,
-                    len(item.comment_texts),
-                    feature_matrix[i],
-                )
-                for i, item in enumerate(items)
-            ],
-            dtype=bool,
-        )
-
-    def filter_report(
-        self, items: Sequence, feature_matrix: np.ndarray
-    ) -> dict[str, int]:
-        """Count how many items each rule removes (for diagnostics)."""
         cfg = self.config
+        mask = np.zeros(len(items), dtype=bool)
         low_sales = 0
         no_comments = 0
         no_positive = 0
@@ -93,9 +82,26 @@ class RuleFilter:
                 no_positive += 1
             else:
                 passed += 1
-        return {
+                mask[i] = True
+        report = {
             "filtered_low_sales": low_sales,
             "filtered_no_comments": no_comments,
             "filtered_no_positive_evidence": no_positive,
             "passed": passed,
         }
+        return mask, report
+
+    def mask(
+        self,
+        items: Sequence,
+        feature_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean pass-mask for *items* (objects with ``sales_volume``
+        and ``comment_texts``) aligned with *feature_matrix* rows."""
+        return self.evaluate(items, feature_matrix)[0]
+
+    def filter_report(
+        self, items: Sequence, feature_matrix: np.ndarray
+    ) -> dict[str, int]:
+        """Count how many items each rule removes (for diagnostics)."""
+        return self.evaluate(items, feature_matrix)[1]

@@ -18,6 +18,29 @@ wraps a trained :class:`~repro.core.system.CATS` for that regime:
 The stage-1 rule filter applies at scoring time, so an item alerts only
 once it has real sales/comment volume -- early sparse evidence cannot
 trigger a report.
+
+Incremental feature accumulation
+--------------------------------
+
+Each :class:`_ItemState` owns an
+:class:`~repro.core.features.ItemAccumulator` holding the running sums
+behind the item's Table II feature vector.  On rescore, only comments
+that arrived since the last scoring go through segmentation and
+sentiment (via :meth:`FeatureExtractor.comment_stats`); the feature
+vector is then an O(1) :meth:`ItemAccumulator.to_vector` read.  This
+turns the lifetime cost of a long-lived item from O(n^2) in comments
+observed (re-extracting the whole buffer at every rescore) into O(n):
+each comment is analyzed exactly once, however often its item is
+rescored.
+
+Because batch extraction folds comments through the identical
+accumulator in the identical order, the incremental vector is
+*bit-identical* to ``FeatureExtractor.extract`` over the full buffer --
+streaming scores equal batch scores exactly, not approximately.
+
+``force_rescore`` shares the scoring path and therefore also respects
+``min_comments_to_score``: below the floor it returns the item's latest
+probability without scoring (and without emitting alerts).
 """
 
 from __future__ import annotations
@@ -27,6 +50,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.collector.records import CommentRecord
+from repro.core.features import ItemAccumulator
 from repro.core.system import CATS
 
 
@@ -46,6 +70,11 @@ class _ItemState:
 
     sales_volume: int = 0
     comments: list[CommentRecord] = field(default_factory=list)
+    #: Running Table II sums over ``comments[:n_accumulated]``.
+    accumulator: ItemAccumulator = field(default_factory=ItemAccumulator)
+    #: How many buffered comments are already folded into the
+    #: accumulator; the suffix beyond it is unseen by feature code.
+    n_accumulated: int = 0
     last_scored_size: int = 0
     last_probability: float = 0.0
     alerted: bool = False
@@ -133,10 +162,23 @@ class StreamingDetector:
 
     # -- scoring -------------------------------------------------------------
 
+    def _accumulate_unseen(self, state: _ItemState) -> None:
+        """Fold buffered-but-unanalyzed comments into the accumulator.
+
+        Only the suffix beyond ``n_accumulated`` pays segmentation and
+        sentiment cost; everything earlier is already in the running
+        sums.
+        """
+        extractor = self.cats.feature_extractor
+        for comment in state.comments[state.n_accumulated :]:
+            state.accumulator.add(extractor.comment_stats(comment.content))
+        state.n_accumulated = len(state.comments)
+
     def _score(
         self, item_id: int, state: _ItemState, trigger_id: int
     ) -> Alert | None:
-        features = self.cats.feature_extractor.extract(state.comment_texts)
+        self._accumulate_unseen(state)
+        features = state.accumulator.to_vector()
         detector = self.cats.detector
         passes = detector.rule_filter.passes(
             state.sales_volume, len(state.comments), features
@@ -162,11 +204,19 @@ class StreamingDetector:
         return None
 
     def force_rescore(self, item_id: int) -> float:
-        """Score an item immediately; returns its P(fraud)."""
+        """Score an item immediately; returns its P(fraud).
+
+        Items below ``min_comments_to_score`` are not scored (an empty
+        or near-empty buffer carries no signal and must not alert);
+        their latest probability -- 0.0 when never scored -- is
+        returned unchanged.
+        """
         if item_id not in self._items:
             raise KeyError(f"unknown item {item_id}")
         state = self._items[item_id]
-        last = state.comments[-1].comment_id if state.comments else -1
+        if len(state.comments) < self.min_comments_to_score:
+            return state.last_probability
+        last = state.comments[-1].comment_id
         self._score(item_id, state, last)
         return state.last_probability
 

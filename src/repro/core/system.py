@@ -64,13 +64,26 @@ class CATS:
 
     # -- detection -----------------------------------------------------------
 
-    def extract_features(self, items: Sequence) -> np.ndarray:
-        """Feature matrix for *items* (exposes the extractor)."""
-        return self.feature_extractor.extract_items(items)
+    def extract_features(
+        self, items: Sequence, n_workers: int | None = None
+    ) -> np.ndarray:
+        """Feature matrix for *items* (exposes the extractor).
 
-    def detect(self, items: Sequence) -> DetectionReport:
+        ``n_workers > 1`` extracts the batch in that many worker
+        processes (see :meth:`FeatureExtractor.extract_many`); rows are
+        identical to the serial result.
+        """
+        return self.feature_extractor.extract_items(
+            items, n_workers=n_workers
+        )
+
+    def detect(
+        self, items: Sequence, n_workers: int | None = None
+    ) -> DetectionReport:
         """Detect fraud items among *items* on any platform."""
-        features = self.feature_extractor.extract_items(items)
+        features = self.feature_extractor.extract_items(
+            items, n_workers=n_workers
+        )
         return self.detector.detect(items, features)
 
     def detect_with_features(

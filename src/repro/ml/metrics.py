@@ -47,7 +47,7 @@ def precision_score(y_true, y_pred) -> float:
     tp, fp = cm[1, 1], cm[0, 1]
     if tp + fp == 0:
         return 0.0
-    return tp / (tp + fp)
+    return float(tp / (tp + fp))
 
 
 def recall_score(y_true, y_pred) -> float:
@@ -56,7 +56,7 @@ def recall_score(y_true, y_pred) -> float:
     tp, fn = cm[1, 1], cm[1, 0]
     if tp + fn == 0:
         return 0.0
-    return tp / (tp + fn)
+    return float(tp / (tp + fn))
 
 
 def f1_score(y_true, y_pred) -> float:

@@ -1,0 +1,141 @@
+"""Tests for the incremental feature accumulators (repro.core.features).
+
+The load-bearing invariant: folding comments through an
+:class:`ItemAccumulator` in order produces a vector *exactly* equal
+(bit-identical, not approximately) to batch ``FeatureExtractor.extract``
+over the same list.  The streaming detector's claim that incremental
+scores equal batch scores rests on it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    FeatureExtractor,
+    ItemAccumulator,
+)
+
+
+@pytest.fixture(scope="module")
+def extractor(analyzer):
+    return FeatureExtractor(analyzer)
+
+
+@pytest.fixture(scope="module")
+def comment_alphabet(language):
+    """Characters of real dictionary words plus punctuation and an OOV
+    letter, so random texts exercise known-word, OOV and punctuation
+    segmentation paths alike."""
+    chars: set[str] = set()
+    for word in list(language.dictionary_weights())[:40]:
+        chars.update(word)
+    return sorted(chars) + ["!", ",", ".", "?"]
+
+
+def comment_lists(alphabet):
+    return st.lists(
+        st.text(alphabet=alphabet, min_size=0, max_size=24),
+        min_size=0,
+        max_size=8,
+    )
+
+
+class TestCommentStats:
+    def test_single_analysis_matches_extract(self, extractor):
+        text = "haoping! zan"
+        accumulator = extractor.make_accumulator()
+        accumulator.add(extractor.comment_stats(text))
+        np.testing.assert_array_equal(
+            accumulator.to_vector(), extractor.extract([text])
+        )
+
+    def test_bigram_ratio_term_guard(self, extractor):
+        # A single-word comment has no bigrams and a zero ratio term.
+        stats = extractor.comment_stats("haoping")
+        assert stats.n_positive_bigrams == 0
+        assert stats.bigram_ratio_term == 0.0
+
+
+class TestItemAccumulator:
+    def test_empty_is_zero_vector(self):
+        np.testing.assert_array_equal(
+            ItemAccumulator().to_vector(), np.zeros(N_FEATURES)
+        )
+
+    def test_remove_from_empty_raises(self, extractor):
+        with pytest.raises(ValueError):
+            ItemAccumulator().remove(extractor.comment_stats("haoping"))
+
+    def test_remove_inverts_integer_counts(self, extractor):
+        accumulator = extractor.make_accumulator()
+        stats = [extractor.comment_stats(t) for t in ("haoping!", "zan zan")]
+        for s in stats:
+            accumulator.add(s)
+        accumulator.remove(stats[1])
+        assert accumulator.n_comments == 1
+        assert accumulator.total_words == stats[0].n_words
+        assert accumulator.n_unique_words == len(stats[0].word_counts)
+
+    def test_unique_words_survive_partial_remove(self, extractor):
+        # Both comments contain the same word: removing one occurrence
+        # must keep the word in the multiset (set semantics would not).
+        accumulator = extractor.make_accumulator()
+        first = extractor.comment_stats("haoping")
+        second = extractor.comment_stats("haoping")
+        accumulator.add(first)
+        accumulator.add(second)
+        before = accumulator.n_unique_words
+        accumulator.remove(second)
+        assert accumulator.n_unique_words == before
+
+
+class TestIncrementalEqualsBatch:
+    """The PR's acceptance property: exact equality on random inputs."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_fold_in_order_is_bit_identical(
+        self, data, extractor, comment_alphabet
+    ):
+        comments = data.draw(comment_lists(comment_alphabet))
+        accumulator = extractor.make_accumulator()
+        for text in comments:
+            accumulator.add(extractor.comment_stats(text))
+        np.testing.assert_array_equal(
+            accumulator.to_vector(), extractor.extract(comments)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_chunked_folding_with_interleaved_reads(
+        self, data, extractor, comment_alphabet
+    ):
+        """Partial to_vector() snapshots neither mutate state nor drift:
+        every prefix vector equals batch extraction of that prefix."""
+        comments = data.draw(comment_lists(comment_alphabet))
+        accumulator = extractor.make_accumulator()
+        folded = 0
+        while folded < len(comments):
+            step = data.draw(
+                st.integers(min_value=1, max_value=len(comments) - folded)
+            )
+            for text in comments[folded : folded + step]:
+                accumulator.add(extractor.comment_stats(text))
+            folded += step
+            np.testing.assert_array_equal(
+                accumulator.to_vector(),
+                extractor.extract(comments[:folded]),
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_vector_is_finite_and_named(
+        self, data, extractor, comment_alphabet
+    ):
+        comments = data.draw(comment_lists(comment_alphabet))
+        vec = extractor.extract(comments)
+        assert vec.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(vec))

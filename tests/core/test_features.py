@@ -129,6 +129,55 @@ class TestExtract:
         assert 0.0 <= vec[idx("averageNgramRatio")] <= 1.0
 
 
+class TestDegenerateComments:
+    """Comments that stress the per-comment denominators."""
+
+    def test_punctuation_only_comment_segments_to_zero_words(
+        self, extractor, analyzer
+    ):
+        text = "!!,,.."
+        assert analyzer.segment(text) == []
+        vec = extractor.extract([text])
+        assert np.all(np.isfinite(vec))
+        # No words: word-derived features are zero ...
+        assert vec[idx("sumCommentLength")] == 0.0
+        assert vec[idx("uniqueWordRatio")] == 0.0
+        assert vec[idx("averageCommentEntropy")] == 0.0
+        assert vec[idx("averageNgramNumber")] == 0.0
+        assert vec[idx("averageNgramRatio")] == 0.0
+        # ... but the structural punctuation features still count.
+        assert vec[idx("sumPunctuationNumber")] == 6.0
+        assert vec[idx("averagePunctuationRatio")] == 1.0
+
+    def test_single_word_comment_skips_bigram_ratio(
+        self, extractor, analyzer
+    ):
+        # One word -> no bigrams; the len(words) > 1 guard must keep
+        # the ratio term out of the sum instead of dividing by zero.
+        text = "haoping"
+        assert len(analyzer.segment(text)) == 1
+        vec = extractor.extract([text])
+        assert np.all(np.isfinite(vec))
+        assert vec[idx("averageNgramNumber")] == 0.0
+        assert vec[idx("averageNgramRatio")] == 0.0
+        assert vec[idx("averageCommentLength")] == 1.0
+
+    def test_mixed_degenerate_batch_denominators(self, extractor, analyzer):
+        # [zero-word, one-word, two-word]: averages divide by the
+        # *comment* count (3), word ratios by the *word* count (3).
+        comments = ["!!", "haoping", "haoping haoping"]
+        total_words = sum(len(analyzer.segment(t)) for t in comments)
+        assert total_words == 3
+        vec = extractor.extract(comments)
+        assert np.all(np.isfinite(vec))
+        assert vec[idx("sumCommentLength")] == float(total_words)
+        assert vec[idx("averageCommentLength")] == pytest.approx(
+            total_words / 3
+        )
+        # "haoping" is the only distinct word over the whole item.
+        assert vec[idx("uniqueWordRatio")] == pytest.approx(1 / 3)
+
+
 class TestBatch:
     def test_extract_many_shape(self, extractor):
         X = extractor.extract_many([["haoping"], ["zan", "mai"], []])
@@ -146,6 +195,27 @@ class TestBatch:
         items = taobao_platform.items[:5]
         X = extractor.extract_items(items)
         assert X.shape == (5, N_FEATURES)
+
+
+class TestParallelBatch:
+    def test_parallel_matrix_equals_serial(self, extractor, taobao_platform):
+        lists = [i.comment_texts for i in taobao_platform.items[:24]]
+        serial = extractor.extract_many(lists)
+        parallel = extractor.extract_many(lists, n_workers=2)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_single_worker_stays_serial(self, extractor):
+        lists = [["haoping"], ["zan"]]
+        np.testing.assert_array_equal(
+            extractor.extract_many(lists, n_workers=1),
+            extractor.extract_many(lists),
+        )
+
+    def test_more_workers_than_items(self, extractor):
+        lists = [["haoping"], ["zan"]]
+        X = extractor.extract_many(lists, n_workers=8)
+        assert X.shape == (2, N_FEATURES)
+        np.testing.assert_array_equal(X, extractor.extract_many(lists))
 
 
 class TestDiscrimination:

@@ -69,6 +69,46 @@ class TestMask:
             rule.mask([FakeItem(10, 1)], np.zeros((2, N_FEATURES)))
 
 
+class TestEvaluate:
+    def items_and_features(self):
+        items = [
+            FakeItem(1, 3),     # low sales
+            FakeItem(10, 0),    # no comments
+            FakeItem(10, 2),    # no positive evidence (features zeroed)
+            FakeItem(10, 2),    # passes
+        ]
+        X = np.vstack(
+            [features(), features(), features(0.0, 0.0), features()]
+        )
+        return items, X
+
+    def test_single_pass_mask_and_report(self):
+        rule = RuleFilter()
+        items, X = self.items_and_features()
+        mask, report = rule.evaluate(items, X)
+        assert mask.tolist() == [False, False, False, True]
+        assert report["passed"] == 1
+        assert sum(report.values()) == len(items)
+
+    def test_wrappers_agree_with_evaluate(self):
+        rule = RuleFilter()
+        items, X = self.items_and_features()
+        mask, report = rule.evaluate(items, X)
+        np.testing.assert_array_equal(mask, rule.mask(items, X))
+        assert report == rule.filter_report(items, X)
+
+    def test_mask_matches_passed_count(self):
+        rule = RuleFilter()
+        items, X = self.items_and_features()
+        mask, report = rule.evaluate(items, X)
+        assert int(mask.sum()) == report["passed"]
+
+    def test_length_mismatch_raises(self):
+        rule = RuleFilter()
+        with pytest.raises(ValueError):
+            rule.evaluate([FakeItem(10, 1)], np.zeros((2, N_FEATURES)))
+
+
 class TestFilterReport:
     def test_counts_partition_items(self):
         rule = RuleFilter()

@@ -4,7 +4,24 @@ import numpy as np
 import pytest
 
 from repro.analysis.adapters import comment_records_for_item
+from repro.collector.records import CommentRecord
 from repro.core.streaming import StreamingDetector
+
+
+def make_records(texts, item_id=1):
+    """Fabricate a comment feed for one item from raw texts."""
+    return [
+        CommentRecord(
+            item_id=item_id,
+            comment_id=i,
+            content=text,
+            nickname="user",
+            user_exp_value=1,
+            client="pc",
+            date="2020-01-01",
+        )
+        for i, text in enumerate(texts)
+    ]
 
 
 @pytest.fixture()
@@ -142,6 +159,42 @@ class TestRescorePolicy:
         assert 0.0 <= p <= 1.0
         assert stream.probability(item.item_id) == p
 
+    def test_force_rescore_respects_floor_on_empty_buffer(
+        self, trained_cats
+    ):
+        """Regression: force_rescore used to score an empty buffer
+        (bypassing min_comments_to_score) and could alert on it."""
+        stream = StreamingDetector(trained_cats, min_comments_to_score=3)
+        stream.update_sales(7, 100)  # tracked, zero comments buffered
+        assert stream.force_rescore(7) == 0.0
+        assert stream.alerts == []
+        assert stream._items[7].last_scored_size == 0
+
+    def test_force_rescore_below_floor_keeps_last_probability(
+        self, trained_cats, taobao_platform
+    ):
+        stream = StreamingDetector(
+            trained_cats, rescore_growth=1.0, min_comments_to_score=5
+        )
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 3
+        )
+        stream.observe_many(records_for(taobao_platform, item)[:4])
+        # 4 < 5: no scoring happened and forcing must not score either.
+        assert stream.force_rescore(item.item_id) == 0.0
+        assert stream._items[item.item_id].last_scored_size == 0
+
+    def test_force_rescore_at_floor_scores(self, trained_cats, taobao_platform):
+        stream = StreamingDetector(
+            trained_cats, rescore_growth=2.0, min_comments_to_score=3
+        )
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 3
+        )
+        stream.observe_many(records_for(taobao_platform, item)[:3])
+        stream.force_rescore(item.item_id)
+        assert stream._items[item.item_id].last_scored_size == 3
+
     def test_streaming_matches_batch_score(
         self, trained_cats, taobao_platform
     ):
@@ -158,3 +211,59 @@ class TestRescorePolicy:
             trained_cats.detector.predict_proba(features)[0]
         )
         assert streamed == pytest.approx(batch)
+
+    def test_incremental_features_bit_identical_to_batch(
+        self, trained_cats, taobao_platform
+    ):
+        """The accumulator invariant end-to-end: after streaming, the
+        per-item running sums yield exactly the batch feature vector."""
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 4
+        )
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        stream.observe_many(records_for(taobao_platform, item))
+        state = stream._items[item.item_id]
+        np.testing.assert_array_equal(
+            state.accumulator.to_vector(),
+            trained_cats.feature_extractor.extract(item.comment_texts),
+        )
+
+
+class TestIncrementalCost:
+    def test_each_comment_segmented_once(
+        self, trained_cats, taobao_platform, monkeypatch
+    ):
+        """Streaming a feed with rescoring on every comment must stay
+        O(n) in segmentation calls; the old implementation re-segmented
+        the whole buffer per rescore (O(n^2))."""
+        texts = []
+        for item in taobao_platform.items:
+            texts.extend(item.comment_texts)
+            if len(texts) >= 60:
+                break
+        texts = texts[:60]
+
+        analyzer = trained_cats.analyzer
+        calls = {"n": 0}
+        original = analyzer.segment
+
+        def counting(text):
+            calls["n"] += 1
+            return original(text)
+
+        monkeypatch.setattr(analyzer, "segment", counting)
+
+        stream = StreamingDetector(
+            trained_cats, rescore_growth=1.0, min_comments_to_score=3
+        )
+        stream.observe_many(make_records(texts))
+        incremental = calls["n"]
+        assert incremental == len(texts)
+
+        # O(n^2) baseline: re-extract the full buffer at each rescore.
+        calls["n"] = 0
+        extractor = trained_cats.feature_extractor
+        for size in range(3, len(texts) + 1):
+            extractor.extract(texts[:size])
+        baseline = calls["n"]
+        assert incremental < baseline

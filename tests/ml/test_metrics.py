@@ -59,6 +59,22 @@ class TestPrecisionRecall:
     def test_no_predicted_positives_gives_zero_precision(self):
         assert precision_score([1, 0], [0, 0]) == 0.0
 
+    def test_scores_are_python_floats(self):
+        # Regression: precision/recall used to leak np.float64 while
+        # accuracy/f1 returned float; all four must agree on the type
+        # (np.float64 breaks strict JSON serializers, among others).
+        y_true, y_pred = [1, 0, 1, 0], [1, 1, 0, 0]
+        assert type(precision_score(y_true, y_pred)) is float
+        assert type(recall_score(y_true, y_pred)) is float
+        assert type(accuracy_score(y_true, y_pred)) is float
+        assert type(f1_score(y_true, y_pred)) is float
+
+    @given(label_lists)
+    def test_types_stable_across_inputs(self, labels):
+        preds = labels[::-1]
+        assert type(precision_score(labels, preds)) is float
+        assert type(recall_score(labels, preds)) is float
+
     def test_no_actual_positives_gives_zero_recall(self):
         assert recall_score([0, 0], [1, 0]) == 0.0
 
