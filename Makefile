@@ -1,10 +1,13 @@
 # Builder entry points.  `make verify` is the one-command check used
-# before shipping: tier-1 tests + the streaming smoke bench.
+# before shipping: tier-1 tests + the streaming and serving smoke
+# benches.  `make serve` trains a toy model on first use and serves it.
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: verify test bench-smoke bench
+TOY_MODEL := examples/toy_model
+
+.PHONY: verify test bench-smoke bench-smoke-serving bench serve
 
 verify:
 	sh scripts/verify.sh
@@ -15,5 +18,15 @@ test:
 bench-smoke:
 	python benchmarks/bench_streaming_throughput.py --quick
 
+bench-smoke-serving:
+	python benchmarks/bench_serving_throughput.py --quick
+
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+$(TOY_MODEL)/manifest.json:
+	python -m repro.cli train $(TOY_MODEL) --scale 0.01
+
+serve: $(TOY_MODEL)/manifest.json
+	python -m repro.cli serve $(TOY_MODEL) \
+		--checkpoint-dir $(TOY_MODEL)/checkpoints --checkpoint-every 500

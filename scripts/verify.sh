@@ -12,6 +12,9 @@ export PYTHONPATH
 echo "==> streaming throughput smoke bench (--quick)"
 python benchmarks/bench_streaming_throughput.py --quick
 
+echo "==> serving throughput smoke bench (--quick)"
+python benchmarks/bench_serving_throughput.py --quick
+
 echo "==> tier-1 test suite"
 python -m pytest -x -q
 

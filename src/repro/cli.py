@@ -1,6 +1,6 @@
 """Command-line interface for the CATS reproduction.
 
-Four subcommands cover the deployment workflow the paper describes:
+Five subcommands cover the deployment workflow the paper describes:
 
 ``cats train``
     Train the semantic analyzer and pre-train the detector on a
@@ -14,6 +14,10 @@ Four subcommands cover the deployment workflow the paper describes:
 ``cats evaluate``
     Load a trained model, build a labeled D1-style dataset, and print
     the Table VI-style precision/recall/F-score report.
+``cats serve``
+    Load a trained model and run the micro-batching HTTP detection
+    service (``/score``, ``/ingest``, ``/alerts``, ``/healthz``,
+    ``/stats``) with durable streaming-state checkpoints.
 
 Outside this reproduction the ``crawl`` step would target a real site;
 here it targets the platform simulator, selected by ``--platform``.
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -133,6 +138,59 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import DetectionService, make_server
+
+    cats = load_cats(args.model_dir)
+    service = DetectionService(
+        cats,
+        rescore_growth=args.rescore_growth,
+        min_comments_to_score=args.min_comments,
+        max_tracked_items=args.max_tracked_items,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_depth=args.queue_depth,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if service.restored_from:
+        print(
+            f"restored streaming state from {service.restored_from} "
+            f"({service.stream.n_observed} records observed)",
+            file=sys.stderr,
+        )
+    service.start()
+    server = make_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    # Machine-readable announcement (tests and scripts parse this to
+    # discover the bound port when --port 0 was requested).
+    print(json.dumps({"serving": True, "host": host, "port": port}), flush=True)
+    print(
+        f"serving on http://{host}:{port} "
+        f"(max_batch={args.max_batch}, max_delay_ms={args.max_delay_ms}, "
+        f"queue_depth={args.queue_depth})",
+        file=sys.stderr,
+    )
+
+    def _shutdown(signum, frame) -> None:
+        print("shutting down: draining queue ...", file=sys.stderr)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop(drain=True)
+    print("service stopped", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -183,6 +241,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for feature extraction (default serial)",
     )
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    serve = sub.add_parser(
+        "serve", help="run the micro-batching HTTP detection service"
+    )
+    serve.add_argument("model_dir", help="trained model directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free port, announced on stdout)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None,
+        help="durable streaming-state checkpoint directory",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=500,
+        help="checkpoint after this many ingested records",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="flush a micro-batch at this many requests",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=25.0,
+        help="flush a micro-batch after this many milliseconds",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=512,
+        help="bounded ingress queue size (beyond it requests get 503)",
+    )
+    serve.add_argument(
+        "--max-tracked-items", type=int, default=None,
+        help="LRU bound on items with buffered state (default unbounded)",
+    )
+    serve.add_argument(
+        "--rescore-growth", type=float, default=1.25,
+        help="re-score an item after this comment-count growth factor",
+    )
+    serve.add_argument(
+        "--min-comments", type=int, default=3,
+        help="do not score items with fewer buffered comments",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -23,12 +23,22 @@ to a directory:
 Everything is plain JSON + ``.npz`` -- no pickling, so archives are
 portable and inspectable, and loading untrusted files cannot execute
 code.
+
+All files are written atomically (temp file in the target directory,
+fsync, then ``os.replace``), so a crash mid-save can leave stray
+``*.tmp`` files but never a truncated archive member.  The
+:func:`write_json_atomic` / :func:`write_npz_atomic` helpers are shared
+with the serving layer's streaming-state checkpoints
+(:mod:`repro.serving.checkpoint`), which follow the same
+JSON-plus-npz, no-pickle conventions.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -70,6 +80,57 @@ class PersistenceError(RuntimeError):
     """Raised when an archive is missing, corrupt, or unsupported."""
 
 
+# -- atomic file primitives ----------------------------------------------
+
+
+def _replace_into_place(tmp_path: str, path: Path) -> None:
+    try:
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_json_atomic(
+    path: str | Path, obj: Any, *, indent: int | None = None
+) -> None:
+    """Durably write *obj* as JSON to *path* (write-temp-then-rename)."""
+    path = Path(path)
+    payload = json.dumps(obj, ensure_ascii=False, indent=indent)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+    _replace_into_place(tmp_path, path)
+
+
+def write_npz_atomic(path: str | Path, **arrays: np.ndarray) -> None:
+    """Durably write *arrays* as a compressed npz to *path*."""
+    path = Path(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+    _replace_into_place(tmp_path, path)
+
+
 def _config_to_dict(config: CATSConfig) -> dict[str, Any]:
     return {
         "lexicon": dataclasses.asdict(config.lexicon),
@@ -92,7 +153,7 @@ def _config_from_dict(data: dict[str, Any]) -> CATSConfig:
 
 
 def _save_word2vec(model: Word2Vec, directory: Path) -> None:
-    np.savez_compressed(
+    write_npz_atomic(
         directory / "word2vec.npz",
         input=model._input,
         output=model._output,
@@ -102,9 +163,7 @@ def _save_word2vec(model: Word2Vec, directory: Path) -> None:
         "counts": [model.vocabulary.count(w) for w in model.vocabulary],
         "dim": model.dim,
     }
-    (directory / "word2vec_vocab.json").write_text(
-        json.dumps(vocab), encoding="utf-8"
-    )
+    write_json_atomic(directory / "word2vec_vocab.json", vocab)
 
 
 def _load_word2vec(directory: Path) -> Word2Vec:
@@ -128,7 +187,7 @@ def _load_word2vec(directory: Path) -> Word2Vec:
 
 def _save_sentiment(model: SentimentModel, directory: Path) -> None:
     nb = model._nb
-    np.savez_compressed(
+    write_npz_atomic(
         directory / "sentiment.npz",
         feature_log_prob=nb.feature_log_prob_,
         class_log_prior=nb.class_log_prior_,
@@ -139,9 +198,7 @@ def _save_sentiment(model: SentimentModel, directory: Path) -> None:
         "counts": [vocab.count(w) for w in vocab],
         "alpha": nb.alpha,
     }
-    (directory / "sentiment_vocab.json").write_text(
-        json.dumps(data), encoding="utf-8"
-    )
+    write_json_atomic(directory / "sentiment_vocab.json", data)
 
 
 def _load_sentiment(directory: Path) -> SentimentModel:
@@ -198,10 +255,8 @@ def _save_detector(detector: Detector, directory: Path) -> None:
         arrays["scaler_scale"] = detector._scaler.scale_
     else:
         meta["scaled"] = False
-    np.savez_compressed(directory / "detector.npz", **arrays)
-    (directory / "detector.json").write_text(
-        json.dumps(meta), encoding="utf-8"
-    )
+    write_npz_atomic(directory / "detector.npz", **arrays)
+    write_json_atomic(directory / "detector.json", meta)
 
 
 def _load_detector(directory: Path, config: CATSConfig) -> Detector:
@@ -267,28 +322,22 @@ def save_cats(cats: CATS, directory: str | Path) -> None:
         raise PersistenceError(
             "only ViterbiSegmenter-based analyzers are serializable"
         )
-    (path / "segmenter.json").write_text(
-        json.dumps(segmenter._counts), encoding="utf-8"
-    )
+    write_json_atomic(path / "segmenter.json", segmenter._counts)
     _save_word2vec(cats.analyzer.word2vec, path)
     _save_sentiment(cats.analyzer.sentiment, path)
-    (path / "lexicon.json").write_text(
-        json.dumps(
-            {
-                "positive": sorted(cats.analyzer.lexicon.positive),
-                "negative": sorted(cats.analyzer.lexicon.negative),
-            }
-        ),
-        encoding="utf-8",
+    write_json_atomic(
+        path / "lexicon.json",
+        {
+            "positive": sorted(cats.analyzer.lexicon.positive),
+            "negative": sorted(cats.analyzer.lexicon.negative),
+        },
     )
     _save_detector(cats.detector, path)
     manifest = {
         "format_version": FORMAT_VERSION,
         "config": _config_to_dict(cats.config),
     }
-    (path / "manifest.json").write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
-    )
+    write_json_atomic(path / "manifest.json", manifest, indent=2)
 
 
 def load_cats(directory: str | Path) -> CATS:

@@ -41,10 +41,38 @@ streaming scores equal batch scores exactly, not approximately.
 ``force_rescore`` shares the scoring path and therefore also respects
 ``min_comments_to_score``: below the floor it returns the item's latest
 probability without scoring (and without emitting alerts).
+
+Long-running feeds
+------------------
+
+Three mechanisms keep an unbounded feed from corrupting or exhausting a
+long-running detector (they back the serving layer in
+:mod:`repro.serving`):
+
+* **Ingest dedupe** -- a recurring crawl re-fetches comment pages, so
+  the same comment record arrives many times.  ``observe`` drops
+  records already buffered for the item (keyed by the full record
+  identity), so replays cannot inflate the ``sumCommentLength``-family
+  features.
+* **LRU eviction** -- ``max_tracked_items`` bounds the number of items
+  with buffered state; the least-recently-observed item is evicted when
+  the bound is exceeded (or explicitly via :meth:`evict`).  The
+  already-alerted set is kept *separately* from the buffers, so an
+  evicted item that reappears rebuilds its evidence from scratch but
+  can never alert twice.
+* **State export/restore** -- :meth:`export_state` captures every
+  buffered record, accumulator sum and alert as a plain-Python
+  structure; :meth:`restore_state` rebuilds a detector whose subsequent
+  behaviour is bit-identical to one that never stopped.  The serving
+  checkpoint layer (:mod:`repro.serving.checkpoint`) persists this
+  structure as JSON + npz.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from collections import Counter, OrderedDict
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +80,9 @@ import numpy as np
 from repro.collector.records import CommentRecord
 from repro.core.features import ItemAccumulator
 from repro.core.system import CATS
+
+#: Version tag for :meth:`StreamingDetector.export_state` payloads.
+STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -70,6 +101,10 @@ class _ItemState:
 
     sales_volume: int = 0
     comments: list[CommentRecord] = field(default_factory=list)
+    #: Identities of buffered records (ingest dedupe).  Records are
+    #: frozen dataclasses, so the set holds the buffered records
+    #: themselves -- no extra copies.
+    seen: set[CommentRecord] = field(default_factory=set)
     #: Running Table II sums over ``comments[:n_accumulated]``.
     accumulator: ItemAccumulator = field(default_factory=ItemAccumulator)
     #: How many buffered comments are already folded into the
@@ -77,11 +112,46 @@ class _ItemState:
     n_accumulated: int = 0
     last_scored_size: int = 0
     last_probability: float = 0.0
-    alerted: bool = False
 
     @property
     def comment_texts(self) -> list[str]:
         return [comment.content for comment in self.comments]
+
+
+def _accumulator_to_state(accumulator: ItemAccumulator) -> dict:
+    """Plain-Python snapshot of an accumulator's running sums."""
+    return {
+        "n_comments": accumulator.n_comments,
+        "sum_positive_distinct": accumulator.sum_positive_distinct,
+        "sum_pos_neg_delta": accumulator.sum_pos_neg_delta,
+        "total_words": accumulator.total_words,
+        "word_counts": dict(accumulator.word_counts),
+        "sum_sentiment": accumulator.sum_sentiment,
+        "sum_entropy": accumulator.sum_entropy,
+        "sum_punctuation": accumulator.sum_punctuation,
+        "sum_punctuation_ratio": accumulator.sum_punctuation_ratio,
+        "sum_positive_bigrams": accumulator.sum_positive_bigrams,
+        "sum_bigram_ratio_terms": accumulator.sum_bigram_ratio_terms,
+    }
+
+
+def _accumulator_from_state(data: dict) -> ItemAccumulator:
+    """Rebuild an accumulator bit-identically from its snapshot."""
+    return ItemAccumulator(
+        n_comments=int(data["n_comments"]),
+        sum_positive_distinct=int(data["sum_positive_distinct"]),
+        sum_pos_neg_delta=int(data["sum_pos_neg_delta"]),
+        total_words=int(data["total_words"]),
+        word_counts=Counter(
+            {word: int(count) for word, count in data["word_counts"].items()}
+        ),
+        sum_sentiment=float(data["sum_sentiment"]),
+        sum_entropy=float(data["sum_entropy"]),
+        sum_punctuation=int(data["sum_punctuation"]),
+        sum_punctuation_ratio=float(data["sum_punctuation_ratio"]),
+        sum_positive_bigrams=int(data["sum_positive_bigrams"]),
+        sum_bigram_ratio_terms=float(data["sum_bigram_ratio_terms"]),
+    )
 
 
 class StreamingDetector:
@@ -98,6 +168,11 @@ class StreamingDetector:
     min_comments_to_score:
         Do not score items with fewer buffered comments (scores on 1-2
         comments are noise).
+    max_tracked_items:
+        Upper bound on items with buffered state; exceeding it evicts
+        the least-recently-observed item.  ``None`` (the default) never
+        evicts.  The alerted set survives eviction, so reappearing
+        items cannot re-alert.
     """
 
     def __init__(
@@ -105,6 +180,7 @@ class StreamingDetector:
         cats: CATS,
         rescore_growth: float = 1.25,
         min_comments_to_score: int = 3,
+        max_tracked_items: int | None = None,
     ) -> None:
         if rescore_growth < 1.0:
             raise ValueError(
@@ -115,28 +191,73 @@ class StreamingDetector:
                 "min_comments_to_score must be >= 1, got "
                 f"{min_comments_to_score}"
             )
+        if max_tracked_items is not None and max_tracked_items < 1:
+            raise ValueError(
+                "max_tracked_items must be >= 1 or None, got "
+                f"{max_tracked_items}"
+            )
         self.cats = cats
         self.rescore_growth = rescore_growth
         self.min_comments_to_score = min_comments_to_score
-        self._items: dict[int, _ItemState] = {}
+        self.max_tracked_items = max_tracked_items
+        #: Per-item state in least-recently-observed-first order.
+        self._items: OrderedDict[int, _ItemState] = OrderedDict()
         self._alerts: list[Alert] = []
+        #: Item ids that already alerted -- kept independently of the
+        #: buffers so eviction cannot re-arm an item.
+        self._alerted_ids: set[int] = set()
+        #: Records delivered to :meth:`observe` (duplicates included):
+        #: the detector's position in the upstream feed, used by the
+        #: serving checkpoints to resume replay.
+        self.n_observed: int = 0
+        #: Records dropped by ingest dedupe.
+        self.n_duplicates: int = 0
+        #: Items dropped by eviction (explicit or LRU).
+        self.n_evicted: int = 0
 
     # -- ingestion -----------------------------------------------------
 
+    def _touch(self, item_id: int) -> _ItemState:
+        """State for *item_id*, created if absent, marked most-recent."""
+        state = self._items.get(item_id)
+        if state is None:
+            state = _ItemState()
+            self._items[item_id] = state
+        else:
+            self._items.move_to_end(item_id)
+        return state
+
+    def _enforce_bound(self) -> None:
+        if self.max_tracked_items is None:
+            return
+        while len(self._items) > self.max_tracked_items:
+            oldest = next(iter(self._items))
+            self.evict(oldest)
+
     def update_sales(self, item_id: int, sales_volume: int) -> None:
         """Record an item's latest listed sales volume."""
-        state = self._items.setdefault(item_id, _ItemState())
+        state = self._touch(item_id)
         state.sales_volume = max(state.sales_volume, sales_volume)
+        self._enforce_bound()
 
     def observe(self, comment: CommentRecord) -> Alert | None:
         """Ingest one comment; returns an Alert if the item crosses.
 
         Each comment is one completed order, so sales volume advances
-        with the buffer even when listing data lags.
+        with the buffer even when listing data lags.  A record already
+        buffered for the item (an identical replay, e.g. from
+        re-crawling the same comment page) is dropped without touching
+        the feature sums.
         """
-        state = self._items.setdefault(comment.item_id, _ItemState())
+        self.n_observed += 1
+        state = self._touch(comment.item_id)
+        if comment in state.seen:
+            self.n_duplicates += 1
+            return None
+        state.seen.add(comment)
         state.comments.append(comment)
         state.sales_volume = max(state.sales_volume, len(state.comments))
+        self._enforce_bound()
 
         if len(state.comments) < self.min_comments_to_score:
             return None
@@ -160,6 +281,22 @@ class StreamingDetector:
                 alerts.append(alert)
         return alerts
 
+    # -- eviction ------------------------------------------------------------
+
+    def evict(self, item_id: int) -> bool:
+        """Drop an item's buffered state; returns True when present.
+
+        The alert history and the alerted set are untouched: an evicted
+        item that reappears starts accumulating evidence from scratch
+        but can never emit a second alert.  Its latest probability is
+        forgotten (queries fall back to 0.0).
+        """
+        state = self._items.pop(item_id, None)
+        if state is None:
+            return False
+        self.n_evicted += 1
+        return True
+
     # -- scoring -------------------------------------------------------------
 
     def _accumulate_unseen(self, state: _ItemState) -> None:
@@ -173,6 +310,29 @@ class StreamingDetector:
         for comment in state.comments[state.n_accumulated :]:
             state.accumulator.add(extractor.comment_stats(comment.content))
         state.n_accumulated = len(state.comments)
+
+    def _finish_score(
+        self,
+        item_id: int,
+        state: _ItemState,
+        probability: float,
+        trigger_id: int,
+    ) -> Alert | None:
+        """Commit one scoring result; emits the at-most-once alert."""
+        state.last_scored_size = len(state.comments)
+        state.last_probability = probability
+        threshold = self.cats.detector.config.threshold
+        if probability >= threshold and item_id not in self._alerted_ids:
+            self._alerted_ids.add(item_id)
+            alert = Alert(
+                item_id=item_id,
+                fraud_probability=probability,
+                n_comments=len(state.comments),
+                triggered_by_comment_id=trigger_id,
+            )
+            self._alerts.append(alert)
+            return alert
+        return None
 
     def _score(
         self, item_id: int, state: _ItemState, trigger_id: int
@@ -189,19 +349,7 @@ class StreamingDetector:
             )
         else:
             probability = 0.0
-        state.last_scored_size = len(state.comments)
-        state.last_probability = probability
-        if probability >= detector.config.threshold and not state.alerted:
-            state.alerted = True
-            alert = Alert(
-                item_id=item_id,
-                fraud_probability=probability,
-                n_comments=len(state.comments),
-                triggered_by_comment_id=trigger_id,
-            )
-            self._alerts.append(alert)
-            return alert
-        return None
+        return self._finish_score(item_id, state, probability, trigger_id)
 
     def force_rescore(self, item_id: int) -> float:
         """Score an item immediately; returns its P(fraud).
@@ -220,6 +368,142 @@ class StreamingDetector:
         self._score(item_id, state, last)
         return state.last_probability
 
+    def force_rescore_many(
+        self, item_ids: Iterable[int]
+    ) -> dict[int, float]:
+        """Score a batch of tracked items in one classifier call.
+
+        All rule-passing items are stacked into a single feature matrix
+        and sent through ``predict_proba`` together; per tree the
+        classifier runs vectorized over the whole batch, so a batch of
+        k items costs roughly one item's numpy overhead instead of k.
+        The per-item results (probabilities, state updates, at-most-once
+        alerts) are bit-identical to calling :meth:`force_rescore` per
+        item in the same order -- the serving layer's micro-batching
+        relies on this equivalence.
+
+        Raises :class:`KeyError` on the first unknown item; no state is
+        modified in that case.
+        """
+        unique_ids = list(dict.fromkeys(item_ids))
+        missing = [i for i in unique_ids if i not in self._items]
+        if missing:
+            raise KeyError(f"unknown item {missing[0]}")
+        results: dict[int, float] = {}
+        to_predict: list[tuple[int, _ItemState, np.ndarray]] = []
+        detector = self.cats.detector
+        for item_id in unique_ids:
+            state = self._items[item_id]
+            if len(state.comments) < self.min_comments_to_score:
+                results[item_id] = state.last_probability
+                continue
+            self._accumulate_unseen(state)
+            features = state.accumulator.to_vector()
+            if detector.rule_filter.passes(
+                state.sales_volume, len(state.comments), features
+            ):
+                to_predict.append((item_id, state, features))
+            else:
+                trigger = state.comments[-1].comment_id
+                self._finish_score(item_id, state, 0.0, trigger)
+                results[item_id] = 0.0
+        if to_predict:
+            matrix = np.vstack([row for _, _, row in to_predict])
+            probabilities = detector.predict_proba(matrix)
+            for (item_id, state, _), probability in zip(
+                to_predict, probabilities
+            ):
+                trigger = state.comments[-1].comment_id
+                self._finish_score(
+                    item_id, state, float(probability), trigger
+                )
+                results[item_id] = float(probability)
+        return results
+
+    # -- state export / restore ---------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot the full streaming state as plain Python data.
+
+        The structure is JSON-compatible (Python floats round-trip
+        exactly through ``json``), ordered least-recently-observed
+        first, and sufficient for :meth:`restore_state` to rebuild a
+        detector whose every subsequent score and alert is identical to
+        this one's.
+        """
+        items = []
+        for item_id, state in self._items.items():
+            items.append(
+                {
+                    "item_id": item_id,
+                    "sales_volume": state.sales_volume,
+                    "comments": [
+                        dataclasses.asdict(c) for c in state.comments
+                    ],
+                    "n_accumulated": state.n_accumulated,
+                    "last_scored_size": state.last_scored_size,
+                    "last_probability": state.last_probability,
+                    "accumulator": _accumulator_to_state(state.accumulator),
+                }
+            )
+        return {
+            "state_version": STATE_VERSION,
+            "config": {
+                "rescore_growth": self.rescore_growth,
+                "min_comments_to_score": self.min_comments_to_score,
+                "max_tracked_items": self.max_tracked_items,
+            },
+            "n_observed": self.n_observed,
+            "n_duplicates": self.n_duplicates,
+            "n_evicted": self.n_evicted,
+            "alerted_ids": sorted(self._alerted_ids),
+            "alerts": [dataclasses.asdict(a) for a in self._alerts],
+            "items": items,
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Load a snapshot produced by :meth:`export_state`.
+
+        Replaces any existing state.  The snapshot's policy settings
+        (growth factor, floors, bound) override the constructor's, so a
+        restored detector resumes under the checkpointed policy.
+        """
+        if data.get("state_version") != STATE_VERSION:
+            raise ValueError(
+                f"unsupported streaming state version "
+                f"{data.get('state_version')!r}"
+            )
+        config = data["config"]
+        self.rescore_growth = float(config["rescore_growth"])
+        self.min_comments_to_score = int(config["min_comments_to_score"])
+        bound = config.get("max_tracked_items")
+        self.max_tracked_items = None if bound is None else int(bound)
+        self.n_observed = int(data["n_observed"])
+        self.n_duplicates = int(data.get("n_duplicates", 0))
+        self.n_evicted = int(data.get("n_evicted", 0))
+        self._alerted_ids = {int(i) for i in data["alerted_ids"]}
+        self._alerts = [Alert(**a) for a in data["alerts"]]
+        self._items = OrderedDict()
+        for entry in data["items"]:
+            comments = [CommentRecord(**c) for c in entry["comments"]]
+            state = _ItemState(
+                sales_volume=int(entry["sales_volume"]),
+                comments=comments,
+                seen=set(comments),
+                accumulator=_accumulator_from_state(entry["accumulator"]),
+                n_accumulated=int(entry["n_accumulated"]),
+                last_scored_size=int(entry["last_scored_size"]),
+                last_probability=float(entry["last_probability"]),
+            )
+            self._items[int(entry["item_id"])] = state
+
+    @classmethod
+    def from_state(cls, cats: CATS, data: dict) -> "StreamingDetector":
+        """Build a detector directly from an exported snapshot."""
+        detector = cls(cats)
+        detector.restore_state(data)
+        return detector
+
     # -- queries ---------------------------------------------------------------
 
     @property
@@ -231,6 +515,14 @@ class StreamingDetector:
     def n_items_tracked(self) -> int:
         """Number of items with buffered state."""
         return len(self._items)
+
+    def has_alerted(self, item_id: int) -> bool:
+        """True when *item_id* already alerted (survives eviction)."""
+        return item_id in self._alerted_ids
+
+    def is_tracked(self, item_id: int) -> bool:
+        """True when *item_id* currently has buffered state."""
+        return item_id in self._items
 
     def probability(self, item_id: int) -> float:
         """Latest scored P(fraud) for *item_id* (0.0 if never scored)."""

@@ -1,0 +1,241 @@
+"""Durable streaming-state checkpoints (JSON + npz, no pickle).
+
+A long-running detection service must survive ``kill -9``: whatever
+state it rebuilt from its feed has to come back on restart, bit-exact,
+or resumed scores drift from what an uninterrupted run would have
+produced.  This module persists the snapshot structure exported by
+:meth:`repro.core.streaming.StreamingDetector.export_state` following
+the :mod:`repro.core.persistence` conventions -- plain JSON plus
+``.npz``, no pickling, atomic writes.
+
+Layout
+------
+
+Each checkpoint is one directory under the manager's root::
+
+    ckpt-00000042/
+        state.json   everything but the per-item float sums
+        sums.npz     float64 running sums, one array per field
+
+The float accumulator sums and the last-scored probabilities are
+stripped out of the JSON and stored as binary float64 arrays (exact by
+construction); integer counts and text stay in JSON, which round-trips
+them exactly.  ``item_id`` order ties the arrays back to the JSON
+entries.
+
+Crash safety
+------------
+
+A checkpoint is assembled in a ``*.tmp`` sibling directory and
+published with a single atomic ``os.rename``; readers ignore ``*.tmp``
+remnants, so a checkpoint either exists completely or not at all.
+:meth:`CheckpointManager.load_latest` walks checkpoints newest-first
+and falls back past any unreadable one, so a torn disk cannot brick a
+restart while an older good checkpoint exists.  ``keep`` bounds disk
+use by pruning the oldest checkpoints after each successful save.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.persistence import write_json_atomic, write_npz_atomic
+
+#: Checkpoint directory format version.
+CHECKPOINT_VERSION = 1
+
+#: Accumulator float fields relocated from JSON into ``sums.npz``.
+_ACC_FLOAT_FIELDS = (
+    "sum_sentiment",
+    "sum_entropy",
+    "sum_punctuation_ratio",
+    "sum_bigram_ratio_terms",
+)
+
+_PREFIX = "ckpt-"
+
+
+class CheckpointError(RuntimeError):
+    """No usable checkpoint could be written or read."""
+
+
+def _split_state(state: dict) -> tuple[dict, dict[str, np.ndarray]]:
+    """(json_payload, npz_arrays) for one exported snapshot.
+
+    The input structure is not modified; item entries are shallow-copied
+    with their float fields removed.
+    """
+    items_json = []
+    item_ids = []
+    last_probabilities = []
+    acc_columns: dict[str, list[float]] = {
+        name: [] for name in _ACC_FLOAT_FIELDS
+    }
+    for entry in state["items"]:
+        accumulator = dict(entry["accumulator"])
+        for name in _ACC_FLOAT_FIELDS:
+            acc_columns[name].append(accumulator.pop(name))
+        slim = dict(entry, accumulator=accumulator)
+        last_probabilities.append(slim.pop("last_probability"))
+        item_ids.append(entry["item_id"])
+        items_json.append(slim)
+    payload = dict(state, items=items_json)
+    payload["checkpoint_version"] = CHECKPOINT_VERSION
+    arrays = {
+        "item_id": np.asarray(item_ids, dtype=np.int64),
+        "last_probability": np.asarray(
+            last_probabilities, dtype=np.float64
+        ),
+    }
+    for name, column in acc_columns.items():
+        arrays[f"acc_{name}"] = np.asarray(column, dtype=np.float64)
+    return payload, arrays
+
+
+def _merge_state(payload: dict, arrays: Any) -> dict:
+    """Inverse of :func:`_split_state`."""
+    item_ids = arrays["item_id"]
+    if len(item_ids) != len(payload["items"]):
+        raise CheckpointError(
+            "sums.npz arrays do not match state.json items"
+        )
+    items = []
+    for i, slim in enumerate(payload["items"]):
+        if int(item_ids[i]) != int(slim["item_id"]):
+            raise CheckpointError(
+                f"item order mismatch at row {i} "
+                f"({int(item_ids[i])} != {slim['item_id']})"
+            )
+        accumulator = dict(slim["accumulator"])
+        for name in _ACC_FLOAT_FIELDS:
+            accumulator[name] = float(arrays[f"acc_{name}"][i])
+        entry = dict(
+            slim,
+            accumulator=accumulator,
+            last_probability=float(arrays["last_probability"][i]),
+        )
+        items.append(entry)
+    state = dict(payload, items=items)
+    state.pop("checkpoint_version", None)
+    return state
+
+
+class CheckpointManager:
+    """Writes, prunes, and restores checkpoints under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint root; created on first save.
+    keep:
+        How many complete checkpoints to retain (oldest pruned first).
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+
+    # -- discovery -----------------------------------------------------------
+
+    def _checkpoint_dirs(self) -> list[Path]:
+        """Complete checkpoint directories, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        found = [
+            path
+            for path in self.directory.iterdir()
+            if path.is_dir()
+            and path.name.startswith(_PREFIX)
+            and not path.name.endswith(".tmp")
+        ]
+        return sorted(found, key=lambda p: p.name)
+
+    def latest_path(self) -> Path | None:
+        """Newest complete checkpoint directory, or None."""
+        dirs = self._checkpoint_dirs()
+        return dirs[-1] if dirs else None
+
+    def _next_sequence(self) -> int:
+        dirs = self._checkpoint_dirs()
+        if not dirs:
+            return 1
+        return int(dirs[-1].name[len(_PREFIX) :]) + 1
+
+    # -- save / load ---------------------------------------------------------
+
+    def save(self, state: dict) -> Path:
+        """Persist one exported snapshot; returns its directory.
+
+        The checkpoint becomes visible only after it is fully written
+        (atomic directory rename); older checkpoints beyond ``keep``
+        are pruned afterwards.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        sequence = self._next_sequence()
+        final = self.directory / f"{_PREFIX}{sequence:08d}"
+        staging = self.directory / f"{_PREFIX}{sequence:08d}.tmp"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir()
+        try:
+            payload, arrays = _split_state(state)
+            write_json_atomic(staging / "state.json", payload)
+            write_npz_atomic(staging / "sums.npz", **arrays)
+            os.rename(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        dirs = self._checkpoint_dirs()
+        for stale in dirs[: max(0, len(dirs) - self.keep)]:
+            shutil.rmtree(stale, ignore_errors=True)
+
+    @staticmethod
+    def load_dir(path: Path) -> dict:
+        """Read one checkpoint directory back into a snapshot dict."""
+        try:
+            payload = json.loads(
+                (path / "state.json").read_text(encoding="utf-8")
+            )
+            if payload.get("checkpoint_version") != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    "unsupported checkpoint version "
+                    f"{payload.get('checkpoint_version')!r}"
+                )
+            with np.load(path / "sums.npz") as arrays:
+                return _merge_state(payload, arrays)
+        except CheckpointError:
+            raise
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}")
+
+    def load_latest(self) -> tuple[dict, Path] | None:
+        """(snapshot, path) of the newest readable checkpoint.
+
+        Unreadable checkpoints are skipped (newest-first); returns None
+        when no checkpoint exists, raises :class:`CheckpointError` when
+        checkpoints exist but none is readable.
+        """
+        dirs = self._checkpoint_dirs()
+        if not dirs:
+            return None
+        last_error: CheckpointError | None = None
+        for path in reversed(dirs):
+            try:
+                return self.load_dir(path), path
+            except CheckpointError as exc:
+                last_error = exc
+        raise CheckpointError(
+            f"no readable checkpoint under {self.directory}: {last_error}"
+        )

@@ -1,0 +1,217 @@
+"""Stdlib HTTP front end for :class:`~repro.serving.service.DetectionService`.
+
+Built on ``http.server.ThreadingHTTPServer`` -- no new dependencies.
+Handler threads only parse JSON and block on the service's response
+futures; all real work happens on the service's single scheduler
+thread, so concurrency here is safe by construction.
+
+Endpoints
+---------
+
+``GET /healthz``
+    Liveness: status, uptime, restored checkpoint (if any).
+``GET /stats``
+    Queue/batching/streaming/checkpoint counters.
+``GET /alerts``
+    Every alert emitted so far (restored ones included).
+``POST /ingest``
+    Body ``{"comments": [<row>, ...], "sales": [[item_id, volume], ...]}``.
+    Comment rows are accepted in either the paper's Listing-2 shape
+    (``comment_content`` / ``userExpValue`` / ``client_information``)
+    or the ``dataclasses.asdict(CommentRecord)`` shape.  Responds with
+    the ingest acknowledgement (accepted / duplicates / alerts).
+``POST /score``
+    Body ``{"item_ids": [...]}``; responds with
+    ``{"probabilities": {item_id: P(fraud)}}``.
+
+Failure semantics
+-----------------
+
+* queue full -> ``503`` with ``Retry-After`` (explicit load shedding);
+* service stopping -> ``503``;
+* unknown item in ``/score`` -> ``404``;
+* malformed body -> ``400``;
+* the response is only sent after the request's batch was processed,
+  so a ``200`` ingest acknowledgement means the records are in the
+  detector's state (and covered by the next checkpoint).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.collector.records import CommentRecord, RecordParseError
+from repro.serving.batching import BatcherStopped, QueueFullError
+from repro.serving.service import DetectionService
+
+#: Handler threads give the scheduler this long before answering 504.
+RESPONSE_TIMEOUT_S = 30.0
+
+#: ``asdict(CommentRecord)`` keys -> Listing-2 row keys, so both row
+#: shapes funnel through the same validated ``from_row`` parser.
+_ASDICT_TO_ROW = {
+    "content": "comment_content",
+    "user_exp_value": "userExpValue",
+    "client": "client_information",
+}
+
+
+def parse_comment_row(row: Any) -> CommentRecord:
+    """Validate one comment row in either accepted shape."""
+    if not isinstance(row, dict):
+        raise RecordParseError(f"comment row must be an object, got {row!r}")
+    mapped = {_ASDICT_TO_ROW.get(key, key): value for key, value in row.items()}
+    return CommentRecord.from_row(mapped)
+
+
+class DetectionHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`DetectionService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DetectionService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, DetectionRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+class DetectionRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/1"
+    protocol_version = "HTTP/1.1"
+    server: DetectionHTTPServer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("empty request body")
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        service = self.server.service
+        if self.path == "/healthz":
+            health = service.healthz()
+            status = 200 if health["status"] == "ok" else 503
+            self._send_json(status, health)
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        elif self.path == "/alerts":
+            alerts = [dataclasses.asdict(a) for a in service.alerts()]
+            self._send_json(200, {"count": len(alerts), "alerts": alerts})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        try:
+            body = self._read_json_body()
+            if self.path == "/ingest":
+                self._handle_ingest(body)
+            elif self.path == "/score":
+                self._handle_score(body)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except (ValueError, RecordParseError, KeyError) as exc:
+            # KeyError here is a malformed body (missing field), not an
+            # unknown item -- those are mapped inside the handlers.
+            self._send_json(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            self._send_json(
+                503, {"error": str(exc)}, headers={"Retry-After": "1"}
+            )
+        except BatcherStopped as exc:
+            self._send_json(503, {"error": str(exc)})
+        except TimeoutError:
+            self._send_json(504, {"error": "batch processing timed out"})
+
+    def _handle_ingest(self, body: Any) -> None:
+        if not isinstance(body, dict):
+            raise ValueError("body must be a JSON object")
+        rows = body.get("comments", [])
+        if not isinstance(rows, list):
+            raise ValueError('"comments" must be a list')
+        comments = [parse_comment_row(row) for row in rows]
+        sales = body.get("sales", [])
+        if not isinstance(sales, list):
+            raise ValueError('"sales" must be a list of [item_id, volume]')
+        service = self.server.service
+        futures = [
+            service.submit_sales(int(item_id), int(volume))
+            for item_id, volume in sales
+        ]
+        if comments:
+            result = service.ingest(comments, timeout=RESPONSE_TIMEOUT_S)
+        else:
+            result = None
+        for future in futures:
+            future.result(timeout=RESPONSE_TIMEOUT_S)
+        payload: dict[str, Any] = {
+            "accepted": result.accepted if result else 0,
+            "duplicates": result.duplicates if result else 0,
+            "sales_updates": len(futures),
+            "alerts": [
+                dataclasses.asdict(a) for a in (result.alerts if result else [])
+            ],
+        }
+        self._send_json(200, payload)
+
+    def _handle_score(self, body: Any) -> None:
+        if not isinstance(body, dict) or "item_ids" not in body:
+            raise ValueError('body must be {"item_ids": [...]}')
+        item_ids = [int(i) for i in body["item_ids"]]
+        service = self.server.service
+        try:
+            probabilities = service.score(
+                item_ids, timeout=RESPONSE_TIMEOUT_S
+            )
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+            return
+        self._send_json(
+            200,
+            {
+                "probabilities": {
+                    str(item_id): probability
+                    for item_id, probability in probabilities.items()
+                }
+            },
+        )
+
+
+def make_server(
+    service: DetectionService,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    verbose: bool = False,
+) -> DetectionHTTPServer:
+    """Bind (but do not run) the HTTP front end; port 0 picks a free one."""
+    return DetectionHTTPServer((host, port), service, verbose=verbose)

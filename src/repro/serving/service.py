@@ -1,0 +1,332 @@
+"""The in-process detection service façade.
+
+:class:`DetectionService` turns a loaded :class:`~repro.core.system.CATS`
+plus :class:`~repro.core.streaming.StreamingDetector` into a long-running
+scoring service:
+
+* all mutation flows through one :class:`~repro.serving.batching.MicroBatcher`
+  scheduler thread (single-writer: the streaming detector is only ever
+  touched from that thread, so it needs no internal locking);
+* ingest requests are coalesced per batch and fed through the
+  incremental accumulator path -- semantics are identical to calling
+  ``observe`` per record, whatever the batch boundaries;
+* score requests across a batch are merged into **one** vectorized
+  classifier call (:meth:`StreamingDetector.force_rescore_many`), which
+  is where micro-batching earns its throughput;
+* every ``checkpoint_every`` ingested records the full streaming state
+  is written through :class:`~repro.serving.checkpoint.CheckpointManager`;
+  on construction the service restores the newest readable checkpoint,
+  so a ``kill -9`` loses at most the records after the last checkpoint
+  -- replaying those from the feed reproduces the uninterrupted run
+  bit-exactly.
+
+The HTTP front end (:mod:`repro.serving.httpd`) is a thin adapter over
+this class; everything here also works embedded in-process.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.collector.records import CommentRecord
+from repro.core.streaming import Alert, StreamingDetector
+from repro.core.system import CATS
+from repro.serving.batching import MicroBatcher, Request
+from repro.serving.checkpoint import CheckpointError, CheckpointManager
+
+
+@dataclass
+class IngestResult:
+    """Acknowledgement for one ingest request."""
+
+    #: Records newly buffered (submitted minus duplicates).
+    accepted: int
+    #: Records dropped by ingest dedupe.
+    duplicates: int
+    #: Alerts emitted while processing this request.
+    alerts: list[Alert] = field(default_factory=list)
+
+
+class DetectionService:
+    """Micro-batching scoring service over a trained CATS system.
+
+    Parameters
+    ----------
+    cats:
+        A trained (or loaded) CATS system.
+    rescore_growth, min_comments_to_score, max_tracked_items:
+        Streaming-detector policy (see :class:`StreamingDetector`).
+        When a checkpoint is restored, the checkpointed policy wins.
+    max_batch, max_delay_ms, queue_depth:
+        Micro-batching policy (see :class:`MicroBatcher`).
+    checkpoint_dir:
+        Directory for durable streaming-state checkpoints; ``None``
+        disables checkpointing.  An existing newest readable checkpoint
+        is restored immediately.
+    checkpoint_every:
+        Write a checkpoint after this many newly ingested records
+        (``None`` with a checkpoint dir means only the final checkpoint
+        on :meth:`stop`).
+    checkpoint_keep:
+        Retained checkpoint generations.
+    """
+
+    def __init__(
+        self,
+        cats: CATS,
+        *,
+        rescore_growth: float = 1.25,
+        min_comments_to_score: int = 3,
+        max_tracked_items: int | None = None,
+        max_batch: int = 32,
+        max_delay_ms: float = 25.0,
+        queue_depth: int = 256,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_keep: int = 3,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.cats = cats
+        self.stream = StreamingDetector(
+            cats,
+            rescore_growth=rescore_growth,
+            min_comments_to_score=min_comments_to_score,
+            max_tracked_items=max_tracked_items,
+        )
+        self.checkpoints = (
+            CheckpointManager(checkpoint_dir, keep=checkpoint_keep)
+            if checkpoint_dir
+            else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.restored_from: str | None = None
+        if self.checkpoints is not None:
+            loaded = self.checkpoints.load_latest()
+            if loaded is not None:
+                state, path = loaded
+                self.stream.restore_state(state)
+                self.restored_from = str(path)
+        self._last_checkpoint_observed = self.stream.n_observed
+        self.n_checkpoints_written = 0
+        self.n_checkpoint_failures = 0
+        self.last_checkpoint_error: str | None = None
+        self._batcher = MicroBatcher(
+            self._process_batch,
+            max_batch=max_batch,
+            max_delay=max_delay_ms / 1000.0,
+            queue_depth=queue_depth,
+        )
+        self._started_at: float | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "DetectionService":
+        """Start the scheduler; returns self for chaining."""
+        self._batcher.start()
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Graceful shutdown.
+
+        With ``drain`` (default) every accepted request is processed
+        first; either way a final checkpoint is written when
+        checkpointing is configured, so a clean stop never loses state.
+        """
+        self._batcher.stop(drain=drain, timeout=timeout)
+        if self.checkpoints is not None:
+            self._write_checkpoint(force=True)
+
+    @property
+    def running(self) -> bool:
+        return self._batcher.running
+
+    # -- request entry points ------------------------------------------------
+
+    def submit_ingest(
+        self, comments: Sequence[CommentRecord]
+    ) -> Future:
+        """Queue comment records; future resolves to :class:`IngestResult`.
+
+        Raises :class:`~repro.serving.batching.QueueFullError` when the
+        service is overloaded (the caller should back off and retry).
+        """
+        return self._batcher.submit("ingest", list(comments))
+
+    def ingest(
+        self,
+        comments: Sequence[CommentRecord],
+        timeout: float | None = None,
+    ) -> IngestResult:
+        """Synchronous :meth:`submit_ingest`."""
+        return self.submit_ingest(comments).result(timeout=timeout)
+
+    def submit_score(self, item_ids: Iterable[int]) -> Future:
+        """Queue a scoring request for tracked items.
+
+        The future resolves to ``{item_id: P(fraud)}``; unknown items
+        fail the whole request with :class:`KeyError` (other requests
+        in the same batch are unaffected).
+        """
+        return self._batcher.submit("score", list(item_ids))
+
+    def score(
+        self, item_ids: Iterable[int], timeout: float | None = None
+    ) -> dict[int, float]:
+        """Synchronous :meth:`submit_score`."""
+        return self.submit_score(item_ids).result(timeout=timeout)
+
+    def submit_sales(self, item_id: int, sales_volume: int) -> Future:
+        """Queue a sales-volume update (resolves to None)."""
+        return self._batcher.submit("sales", (item_id, sales_volume))
+
+    # -- queries (lock-free reads; see single-writer note above) -------------
+
+    def alerts(self) -> list[Alert]:
+        """All alerts emitted so far (restored ones included)."""
+        return self.stream.alerts
+
+    def probability(self, item_id: int) -> float:
+        """Latest scored P(fraud) for *item_id* (0.0 unknown/unscored)."""
+        return self.stream.probability(item_id)
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness summary for the ``/healthz`` endpoint."""
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "status": "ok" if self.running else "stopped",
+            "uptime_s": round(uptime, 3),
+            "restored_from": self.restored_from,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Queue, batching, streaming and checkpoint counters."""
+        stream = self.stream
+        stats: dict[str, Any] = dict(self._batcher.stats())
+        stats.update(
+            {
+                "items_tracked": stream.n_items_tracked,
+                "records_observed": stream.n_observed,
+                "duplicates_dropped": stream.n_duplicates,
+                "items_evicted": stream.n_evicted,
+                "alerts": len(stream.alerts),
+                "checkpoints_written": self.n_checkpoints_written,
+                "checkpoint_failures": self.n_checkpoint_failures,
+            }
+        )
+        if self.last_checkpoint_error is not None:
+            stats["last_checkpoint_error"] = self.last_checkpoint_error
+        return stats
+
+    # -- batch processing (scheduler thread only) ----------------------------
+
+    def _process_batch(self, batch: list[Request]) -> None:
+        """Handle one coalesced batch.
+
+        Ingest and sales updates run in arrival order; all score
+        requests are merged into a single vectorized rescore at the
+        end of the batch (so a score queued behind an ingest in the
+        same batch sees that ingest's effect -- same as with
+        one-at-a-time processing).
+        """
+        score_requests: list[Request] = []
+        for request in batch:
+            if request.kind == "score":
+                score_requests.append(request)
+                continue
+            try:
+                if request.kind == "ingest":
+                    request.future.set_result(self._do_ingest(request.payload))
+                elif request.kind == "sales":
+                    item_id, volume = request.payload
+                    self.stream.update_sales(item_id, volume)
+                    request.future.set_result(None)
+                else:
+                    raise ValueError(
+                        f"unknown request kind {request.kind!r}"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - isolate request
+                request.future.set_exception(exc)
+        if score_requests:
+            self._do_scores(score_requests)
+        self._maybe_checkpoint()
+
+    def _do_ingest(self, records: list[CommentRecord]) -> IngestResult:
+        stream = self.stream
+        duplicates_before = stream.n_duplicates
+        alerts = stream.observe_many(records)
+        duplicates = stream.n_duplicates - duplicates_before
+        return IngestResult(
+            accepted=len(records) - duplicates,
+            duplicates=duplicates,
+            alerts=alerts,
+        )
+
+    def _do_scores(self, requests: list[Request]) -> None:
+        """One classifier call for every score request in the batch."""
+        stream = self.stream
+        valid: list[Request] = []
+        wanted: list[int] = []
+        for request in requests:
+            unknown = [
+                i for i in request.payload if not stream.is_tracked(i)
+            ]
+            if unknown:
+                request.future.set_exception(
+                    KeyError(f"unknown item {unknown[0]}")
+                )
+            else:
+                valid.append(request)
+                wanted.extend(request.payload)
+        if not valid:
+            return
+        try:
+            results = stream.force_rescore_many(wanted)
+        except BaseException as exc:  # noqa: BLE001 - fail the batch only
+            for request in valid:
+                request.future.set_exception(exc)
+            return
+        for request in valid:
+            request.future.set_result(
+                {item_id: results[item_id] for item_id in request.payload}
+            )
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoints is None or self.checkpoint_every is None:
+            return
+        progressed = (
+            self.stream.n_observed - self._last_checkpoint_observed
+        )
+        if progressed >= self.checkpoint_every:
+            self._write_checkpoint(force=False)
+
+    def _write_checkpoint(self, force: bool) -> None:
+        if self.checkpoints is None:
+            return
+        if (
+            not force
+            and self.stream.n_observed == self._last_checkpoint_observed
+        ):
+            return
+        try:
+            self.checkpoints.save(self.stream.export_state())
+        except (OSError, CheckpointError) as exc:
+            # A failing disk must not take the scoring path down; the
+            # failure is surfaced through /stats instead.
+            self.n_checkpoint_failures += 1
+            self.last_checkpoint_error = str(exc)
+            return
+        self.n_checkpoints_written += 1
+        self._last_checkpoint_observed = self.stream.n_observed

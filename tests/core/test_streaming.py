@@ -267,3 +267,118 @@ class TestIncrementalCost:
             extractor.extract(texts[:size])
         baseline = calls["n"]
         assert incremental < baseline
+
+
+class TestDedupe:
+    def test_duplicate_observe_is_ignored(self, stream, taobao_platform):
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 4
+        )
+        records = records_for(taobao_platform, item)
+        stream.observe_many(records)
+        before = stream._items[item.item_id].accumulator.to_vector().copy()
+        stream.observe_many(records)  # crawler re-delivers the same page
+        state = stream._items[item.item_id]
+        assert len(state.comments) == len(records)
+        np.testing.assert_array_equal(
+            state.accumulator.to_vector(), before
+        )
+
+    def test_observed_and_duplicate_counters(self, stream, taobao_platform):
+        item = next(
+            i for i in taobao_platform.items if len(i.comments) >= 4
+        )
+        records = records_for(taobao_platform, item)
+        stream.observe_many(records)
+        stream.observe_many(records[:3])
+        assert stream.n_observed == len(records) + 3
+        assert stream.n_duplicates == 3
+
+    def test_same_text_different_comment_id_is_not_a_duplicate(self, stream):
+        records = make_records(["好评" for _ in range(4)])
+        stream.observe_many(records)
+        assert stream.n_duplicates == 0
+        assert len(stream._items[1].comments) == 4
+
+
+class TestEviction:
+    def test_max_tracked_items_bounds_memory(self, trained_cats):
+        stream = StreamingDetector(trained_cats, max_tracked_items=5)
+        for item_id in range(20):
+            stream.observe_many(make_records(["不错"], item_id=item_id))
+        assert stream.n_items_tracked == 5
+        assert stream.n_evicted == 15
+        # The survivors are the five most recently seen.
+        assert sorted(stream._items) == list(range(15, 20))
+
+    def test_lru_touch_on_observe(self, trained_cats):
+        stream = StreamingDetector(trained_cats, max_tracked_items=2)
+        stream.observe_many(make_records(["不错"], item_id=1))
+        stream.observe_many(make_records(["不错"], item_id=2))
+        stream.observe_many(make_records(["很好"], item_id=1))  # touch 1
+        stream.observe_many(make_records(["不错"], item_id=3))  # evicts 2
+        assert sorted(stream._items) == [1, 3]
+
+    def test_explicit_evict(self, stream, taobao_platform):
+        item = taobao_platform.items[0]
+        stream.observe_many(records_for(taobao_platform, item))
+        assert stream.evict(item.item_id) is True
+        assert not stream.is_tracked(item.item_id)
+        assert stream.evict(item.item_id) is False  # already gone
+
+    def test_bad_max_tracked_items(self, trained_cats):
+        with pytest.raises(ValueError):
+            StreamingDetector(trained_cats, max_tracked_items=0)
+
+    def test_evicted_then_reseen_item_does_not_realert(
+        self, trained_cats, taobao_platform
+    ):
+        """The alerted set must survive eviction: a fraud item whose
+        buffers were dropped and that is then re-crawled from scratch
+        stays alerted-once."""
+        stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        fraud = max(
+            taobao_platform.fraud_items, key=lambda i: len(i.comments)
+        )
+        stream.update_sales(fraud.item_id, fraud.sales_volume)
+        records = records_for(taobao_platform, fraud)
+        alerts = stream.observe_many(records)
+        assert len(alerts) == 1
+
+        stream.evict(fraud.item_id)
+        assert not stream.is_tracked(fraud.item_id)
+        assert stream.has_alerted(fraud.item_id)
+
+        # Re-crawl the item from zero: dedupe cannot save us (the seen
+        # set was evicted too), but the alert ledger must.
+        stream.update_sales(fraud.item_id, fraud.sales_volume)
+        again = stream.observe_many(records)
+        assert again == []
+        assert len(stream.alerts) == 1
+
+    def test_eviction_pressure_never_duplicates_alerts(
+        self, trained_cats, taobao_platform
+    ):
+        """Alerts stay at-most-once per item even when a tiny LRU bound
+        forces fraud items in and out of the tracked set repeatedly."""
+        stream = StreamingDetector(
+            trained_cats, rescore_growth=1.0, max_tracked_items=3
+        )
+        items = sorted(
+            taobao_platform.items,
+            key=lambda i: len(i.comments),
+            reverse=True,
+        )[:12]
+        for item in items:
+            stream.update_sales(item.item_id, item.sales_volume)
+        feed = []
+        per_item = [records_for(taobao_platform, item) for item in items]
+        depth = max(len(records) for records in per_item)
+        for level in range(depth):
+            for records in per_item:
+                if level < len(records):
+                    feed.append(records[level])
+        stream.observe_many(feed)
+        stream.observe_many(feed)  # full replay under eviction pressure
+        alerted = [alert.item_id for alert in stream.alerts]
+        assert len(alerted) == len(set(alerted))

@@ -1,0 +1,39 @@
+"""Shared fixtures for the serving-layer tests.
+
+The comment feed interleaves records across items round-robin (newest
+page of every item, then the next page, ...), which is what a recurring
+crawl of a live platform produces -- items grow gradually instead of
+arriving fully formed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.adapters import comment_records_for_item
+from repro.collector.records import CommentRecord
+
+
+def interleaved_feed(platform, n_items: int = 25) -> list[CommentRecord]:
+    """Round-robin comment feed over the platform's busiest items."""
+    items = sorted(
+        platform.items, key=lambda i: len(i.comments), reverse=True
+    )[:n_items]
+    per_item = [comment_records_for_item(platform, item) for item in items]
+    feed: list[CommentRecord] = []
+    depth = max(len(records) for records in per_item)
+    for level in range(depth):
+        for records in per_item:
+            if level < len(records):
+                feed.append(records[level])
+    return feed
+
+
+@pytest.fixture(scope="session")
+def feed(taobao_platform) -> list[CommentRecord]:
+    return interleaved_feed(taobao_platform)
+
+
+@pytest.fixture(scope="session")
+def feed_item_ids(feed) -> list[int]:
+    return sorted({record.item_id for record in feed})

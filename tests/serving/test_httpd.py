@@ -1,0 +1,170 @@
+"""Tests for repro.serving.httpd (stdlib HTTP front end)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+
+import pytest
+
+from repro.serving import DetectionService, make_server
+from repro.serving.httpd import parse_comment_row
+
+
+@pytest.fixture()
+def served(trained_cats):
+    """(service, client) around a live localhost server."""
+    import http.client
+
+    service = DetectionService(
+        trained_cats, rescore_growth=1.0, max_batch=16, max_delay_ms=2
+    ).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    class Client:
+        def __init__(self, port: int) -> None:
+            self.port = port
+
+        def request(self, method, path, body=None):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=30
+            )
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=json.dumps(body) if body is not None else None,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                return response.status, json.loads(response.read())
+            finally:
+                conn.close()
+
+    yield service, Client(server.server_address[1])
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+class TestRowParsing:
+    def test_asdict_shape(self, feed):
+        row = dataclasses.asdict(feed[0])
+        assert parse_comment_row(row) == feed[0]
+
+    def test_listing2_shape(self, feed):
+        record = feed[0]
+        row = {
+            "item_id": record.item_id,
+            "comment_id": record.comment_id,
+            "comment_content": record.content,
+            "nickname": record.nickname,
+            "userExpValue": record.user_exp_value,
+            "client_information": record.client,
+            "date": record.date,
+        }
+        assert parse_comment_row(row) == record
+
+    def test_bad_row_rejected(self):
+        from repro.collector.records import RecordParseError
+
+        with pytest.raises(RecordParseError):
+            parse_comment_row({"item_id": 1})
+        with pytest.raises(RecordParseError):
+            parse_comment_row("not an object")
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, client = served
+        status, body = client.request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_ingest_then_score_and_alerts(
+        self, served, trained_cats, feed, feed_item_ids
+    ):
+        from repro.core.streaming import StreamingDetector
+
+        _, client = served
+        rows = [dataclasses.asdict(record) for record in feed]
+        status, ack = client.request(
+            "POST", "/ingest", {"comments": rows}
+        )
+        assert status == 200
+        assert ack["accepted"] == len(feed)
+        assert ack["duplicates"] == 0
+
+        status, scored = client.request(
+            "POST", "/score", {"item_ids": feed_item_ids}
+        )
+        assert status == 200
+        reference = StreamingDetector(trained_cats, rescore_growth=1.0)
+        reference.observe_many(feed)
+        expected = reference.force_rescore_many(feed_item_ids)
+        assert {
+            int(item_id): probability
+            for item_id, probability in scored["probabilities"].items()
+        } == expected
+
+        status, alerts = client.request("GET", "/alerts")
+        assert status == 200
+        assert alerts["count"] == len(reference.alerts)
+        assert alerts["alerts"] == [
+            dataclasses.asdict(a) for a in reference.alerts
+        ]
+
+    def test_ingest_sales_updates(self, served, feed):
+        service, client = served
+        item_id = feed[0].item_id
+        rows = [dataclasses.asdict(record) for record in feed[:5]]
+        status, ack = client.request(
+            "POST",
+            "/ingest",
+            {"comments": rows, "sales": [[item_id, 9999]]},
+        )
+        assert status == 200
+        assert ack["sales_updates"] == 1
+        assert service.stream._items[item_id].sales_volume == 9999
+
+    def test_stats(self, served, feed):
+        _, client = served
+        rows = [dataclasses.asdict(record) for record in feed[:20]]
+        client.request("POST", "/ingest", {"comments": rows})
+        status, stats = client.request("GET", "/stats")
+        assert status == 200
+        assert stats["records_observed"] == 20
+        assert stats["queue_capacity"] == 256
+
+
+class TestErrorMapping:
+    def test_unknown_path(self, served):
+        _, client = served
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("POST", "/nope", {})[0] == 404
+
+    def test_unknown_item_is_404(self, served):
+        _, client = served
+        status, body = client.request(
+            "POST", "/score", {"item_ids": [987654321]}
+        )
+        assert status == 404
+        assert "987654321" in body["error"]
+
+    def test_malformed_bodies_are_400(self, served):
+        _, client = served
+        assert client.request("POST", "/ingest", {"comments": [{}]})[0] == 400
+        assert client.request("POST", "/ingest", {"comments": 7})[0] == 400
+        assert client.request("POST", "/score", {"wrong": 1})[0] == 400
+        assert client.request("POST", "/score", None)[0] == 400
+
+    def test_stopping_service_is_503(self, served):
+        service, client = served
+        service._batcher.stop()
+        status, _ = client.request(
+            "POST", "/score", {"item_ids": [1]}
+        )
+        assert status == 503
