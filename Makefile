@@ -1,13 +1,15 @@
 # Builder entry points.  `make verify` is the one-command check used
-# before shipping: tier-1 tests + the streaming and serving smoke
-# benches.  `make serve` trains a toy model on first use and serves it.
+# before shipping: tier-1 tests + the comment-pipeline, streaming and
+# serving smoke benches.  `make serve` trains a toy model on first use
+# and serves it.
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 TOY_MODEL := examples/toy_model
 
-.PHONY: verify test bench-smoke bench-smoke-serving bench serve
+.PHONY: verify test bench-smoke bench-smoke-serving \
+	bench-smoke-pipeline bench serve
 
 verify:
 	sh scripts/verify.sh
@@ -20,6 +22,9 @@ bench-smoke:
 
 bench-smoke-serving:
 	python benchmarks/bench_serving_throughput.py --quick
+
+bench-smoke-pipeline:
+	python benchmarks/bench_comment_pipeline.py --quick
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # One-command builder verification: the tier-1 test suite plus the
-# streaming-throughput smoke bench (which asserts the incremental
-# extraction invariants, not just timings).  Also available as
-# `make verify`.
+# comment-pipeline, streaming and serving smoke benches (which assert
+# the bit-identity and incremental-extraction invariants, not just
+# timings).  Also available as `make verify`.
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
+
+echo "==> comment pipeline smoke bench (--quick)"
+python benchmarks/bench_comment_pipeline.py --quick
 
 echo "==> streaming throughput smoke bench (--quick)"
 python benchmarks/bench_streaming_throughput.py --quick

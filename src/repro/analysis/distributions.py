@@ -98,7 +98,10 @@ def distribution_overlap(
         raise ValueError("both samples must be non-empty")
     lo = min(a.min(), b.min())
     hi = max(a.max(), b.max())
-    if lo == hi:
+    # A common range at or below float resolution cannot be subdivided
+    # into `bins` finite bins; both samples then share the single
+    # representable bin, i.e. full overlap.
+    if lo == hi or not np.all(np.diff(np.linspace(lo, hi, bins + 1)) > 0):
         return 1.0
     hist_a, edges = np.histogram(a, bins=bins, range=(lo, hi))
     hist_b, __ = np.histogram(b, bins=bins, range=(lo, hi))

@@ -20,7 +20,9 @@ API; :mod:`repro.core.pipeline` provides the end-to-end experiment
 drivers used by the benchmark harness.
 """
 
+from repro.core.analysis_cache import AnalysisCache, CacheInfo
 from repro.core.analyzer import SemanticAnalyzer
+from repro.core.interning import TokenInterner
 from repro.core.extended_features import (
     EXTENDED_FEATURE_NAMES,
     ExtendedFeatureExtractor,
@@ -40,7 +42,10 @@ from repro.core.streaming import Alert, StreamingDetector
 from repro.core.system import CATS
 
 __all__ = [
+    "AnalysisCache",
+    "CacheInfo",
     "CATS",
+    "TokenInterner",
     "EXTENDED_FEATURE_NAMES",
     "ExtendedFeatureExtractor",
     "load_cats",

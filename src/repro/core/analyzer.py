@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.config import CATSConfig
+from repro.core.interning import TokenInterner
 from repro.core.lexicon import SentimentLexicon, build_lexicon_pair
 from repro.semantics.sentiment import SentimentModel
 from repro.semantics.word2vec import Word2Vec
@@ -42,6 +43,8 @@ class SemanticAnalyzer:
         self.word2vec = word2vec
         self.sentiment = sentiment
         self.lexicon = lexicon
+        self._interner: TokenInterner | None = None
+        self._interner_key: tuple | None = None
 
     @classmethod
     def train(
@@ -70,8 +73,11 @@ class SemanticAnalyzer:
             Seed words for lexicon expansion.
         """
         cfg = config or CATSConfig()
-        segmenter = ViterbiSegmenter(dict(dictionary))
-        segmented = [segmenter.segment(text) for text in comment_corpus]
+        # The segmenter is built exactly once, on the caller's mapping
+        # (no throwaway dict copy), and reused both for corpus
+        # segmentation here and as the analyzer's segmenter.
+        segmenter = ViterbiSegmenter(dictionary)
+        segmented = segmenter.segment_many(comment_corpus)
         w2v = Word2Vec(
             dim=cfg.word2vec.dim,
             window=cfg.word2vec.window,
@@ -96,6 +102,37 @@ class SemanticAnalyzer:
             sentiment=sentiment,
             lexicon=lexicon,
         )
+
+    # -- interned fast path -------------------------------------------------
+
+    @property
+    def interner(self) -> TokenInterner:
+        """The shared token interner for the current resources.
+
+        Lazily built, then reused for the analyzer's lifetime: the
+        feature extractor, streaming detector and serving layer all
+        intern against the same id space, so their id arrays and masks
+        are mutually consistent.  Replacing ``segmenter``, ``lexicon``
+        or ``sentiment`` with a *different object* makes a fresh
+        interner on next access -- interner identity is therefore the
+        analysis-version token downstream caches key on (see
+        :mod:`repro.core.analysis_cache`).
+        """
+        key = (self.segmenter, self.lexicon, self.sentiment)
+        if self._interner is None or any(
+            new is not old for new, old in zip(key, self._interner_key)
+        ):
+            try:
+                sentiment_vocab = self.sentiment.vocabulary
+            except RuntimeError:  # unfitted sentiment model
+                sentiment_vocab = None
+            self._interner = TokenInterner(
+                positive=self.lexicon.positive,
+                negative=self.lexicon.negative,
+                sentiment_vocabulary=sentiment_vocab,
+            )
+            self._interner_key = key
+        return self._interner
 
     # -- convenience -------------------------------------------------------
 

@@ -62,10 +62,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.analysis_cache import AnalysisCache, CacheInfo
 from repro.core.analyzer import SemanticAnalyzer
+from repro.core.interning import TokenInterner
 from repro.text.ngrams import positive_bigram_count
 from repro.text.stats import (
     comment_entropy,
+    entropy_from_counts,
     punctuation_count,
     punctuation_ratio,
 )
@@ -118,6 +121,58 @@ class CommentStats:
     #: ``#pos-2grams / (|C_j| - 1)`` -- the per-comment ngram-ratio
     #: term (0.0 for comments shorter than two words).
     bigram_ratio_term: float
+
+    @classmethod
+    def from_ids(
+        cls,
+        text: str,
+        ids: np.ndarray,
+        interner: TokenInterner,
+        sentiment: float,
+    ) -> "CommentStats":
+        """Vectorized construction from an interned ``int32`` id array.
+
+        *ids* is the comment's segmentation mapped through
+        :meth:`TokenInterner.encode` (length-preserving); *sentiment*
+        is the precomputed ``P(positive)`` (the caller batches
+        sentiment across comments).  Every field is bit-identical to
+        the scalar reference
+        (:meth:`FeatureExtractor.comment_stats_scalar`): integer
+        counts are exact by construction, entropy goes through the
+        shared sorted-counts kernel
+        (:func:`repro.text.stats.entropy_from_counts`), and sentiment
+        shares the NB gather kernel -- the property tests in
+        ``tests/core/test_vectorized_stats.py`` pin this down.
+        """
+        n_words = int(ids.shape[0])
+        unique_ids, counts = np.unique(ids, return_counts=True)
+        word_counts = Counter(
+            dict(
+                zip(interner.decode(unique_ids), (int(c) for c in counts))
+            )
+        )
+        positive_mask = interner.positive_mask
+        n_pos = int(np.count_nonzero(positive_mask[unique_ids]))
+        n_neg = int(np.count_nonzero(interner.negative_mask[unique_ids]))
+        if n_words > 1:
+            hits = positive_mask[ids]
+            n_bigrams_pos = int(np.count_nonzero(hits[:-1] | hits[1:]))
+            bigram_ratio_term = n_bigrams_pos / (n_words - 1)
+        else:
+            n_bigrams_pos = 0
+            bigram_ratio_term = 0.0
+        return cls(
+            n_words=n_words,
+            word_counts=word_counts,
+            n_positive_distinct=n_pos,
+            pos_neg_delta=abs(n_pos - n_neg),
+            sentiment=sentiment,
+            entropy=entropy_from_counts(counts),
+            n_punctuation=punctuation_count(text),
+            punctuation_ratio=punctuation_ratio(text),
+            n_positive_bigrams=n_bigrams_pos,
+            bigram_ratio_term=bigram_ratio_term,
+        )
 
 
 @dataclass
@@ -220,6 +275,10 @@ class ItemAccumulator:
         )
 
 
+#: Default bound on the shared per-comment analysis cache.
+DEFAULT_CACHE_SIZE = 32768
+
+
 class FeatureExtractor:
     """Computes the Table II feature vector for items.
 
@@ -228,18 +287,138 @@ class FeatureExtractor:
     analyzer:
         A trained :class:`~repro.core.analyzer.SemanticAnalyzer`
         providing segmentation, the P/N lexicons and sentiment scores.
+    cache_size:
+        Bound on the shared LRU analysis cache keyed by raw comment
+        text (see :mod:`repro.core.analysis_cache`).  ``None`` or
+        ``0`` disables caching (each comment is re-analyzed every
+        time).
+
+    The per-comment analysis runs on the interned fast path: the
+    segmentation is mapped to an ``int32`` id array once, lexicon
+    membership and entropy are numpy operations over that array, and
+    sentiment is a batched NB gather.
+    :meth:`comment_stats_scalar` keeps the original string-based
+    implementation as the bit-identical reference.
     """
 
-    def __init__(self, analyzer: SemanticAnalyzer) -> None:
+    def __init__(
+        self,
+        analyzer: SemanticAnalyzer,
+        cache_size: int | None = DEFAULT_CACHE_SIZE,
+    ) -> None:
         self.analyzer = analyzer
+        self._cache = AnalysisCache(cache_size) if cache_size else None
+        #: Interner the cache contents were computed under; when the
+        #: analyzer hands out a *different* interner (its resources
+        #: were replaced), every cached entry is stale and dropped.
+        self._cache_interner: TokenInterner | None = None
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _interner(self) -> TokenInterner:
+        """Current interner; clears the cache on analysis-version change."""
+        interner = self.analyzer.interner
+        if interner is not self._cache_interner:
+            if self._cache is not None:
+                self._cache.clear()
+            self._cache_interner = interner
+        return interner
+
+    def cache_info(self) -> CacheInfo | None:
+        """Analysis-cache counters, or ``None`` when caching is off."""
+        return self._cache.info() if self._cache is not None else None
+
+    def clear_cache(self) -> None:
+        """Drop every cached per-comment analysis."""
+        if self._cache is not None:
+            self._cache.clear()
 
     # -- per-comment statistics -------------------------------------------
+
+    def _analyze(self, text: str, interner: TokenInterner) -> CommentStats:
+        """Segment, intern and score one comment (cache miss path)."""
+        ids = interner.encode(self.analyzer.segment(text))
+        sentiment = self.analyzer.sentiment.score_ids(
+            interner.sentiment_ids[ids]
+        )
+        return CommentStats.from_ids(text, ids, interner, sentiment)
 
     def comment_stats(self, text: str) -> CommentStats:
         """Analyze one raw comment into its feature contributions.
 
-        This is the only place segmentation and sentiment run; both the
-        batch and the incremental paths go through it.
+        Served from the shared analysis cache when the same text was
+        analyzed before; both the batch and the incremental paths go
+        through here (or :meth:`comment_stats_many`), so a duplicate
+        comment is segmented at most once while cached.
+        """
+        interner = self._interner()
+        cache = self._cache
+        if cache is not None:
+            cached = cache.get(text)
+            if cached is not None:
+                return cached
+        stats = self._analyze(text, interner)
+        if cache is not None:
+            cache.put(text, stats)
+        return stats
+
+    def comment_stats_many(
+        self, texts: Sequence[str]
+    ) -> list[CommentStats]:
+        """Per-comment statistics for a batch, in input order.
+
+        Entry *i* is the same object :meth:`comment_stats` would
+        return for ``texts[i]``; the batch form segments each
+        *distinct* cache-missing text once and scores all misses'
+        sentiment through one batched NB call.
+        """
+        interner = self._interner()
+        cache = self._cache
+        results: list[CommentStats | None] = [None] * len(texts)
+        computed: dict[str, int] = {}
+        miss_indices: list[int] = []
+        miss_ids: list[np.ndarray] = []
+        miss_sentiment_docs: list[np.ndarray] = []
+        for i, text in enumerate(texts):
+            first = computed.get(text)
+            if first is not None:
+                # Duplicate within this batch: resolved after the
+                # batched sentiment call, from the first occurrence.
+                continue
+            if cache is not None:
+                cached = cache.get(text)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            computed[text] = i
+            ids = interner.encode(self.analyzer.segment(text))
+            miss_indices.append(i)
+            miss_ids.append(ids)
+            miss_sentiment_docs.append(interner.sentiment_ids[ids])
+        if miss_indices:
+            sentiments = self.analyzer.sentiment.score_ids_many(
+                miss_sentiment_docs
+            )
+            for i, ids, sentiment in zip(
+                miss_indices, miss_ids, sentiments
+            ):
+                stats = CommentStats.from_ids(
+                    texts[i], ids, interner, float(sentiment)
+                )
+                results[i] = stats
+                if cache is not None:
+                    cache.put(texts[i], stats)
+        for i, text in enumerate(texts):
+            if results[i] is None:
+                results[i] = results[computed[text]]
+        return results  # type: ignore[return-value]
+
+    def comment_stats_scalar(self, text: str) -> CommentStats:
+        """Reference implementation: per-word Python loops, no cache.
+
+        This is the original scalar analysis path, kept as the ground
+        truth the vectorized path is property-tested against (and the
+        baseline the pipeline benchmark measures against).
         """
         words = self.analyzer.segment(text)
         word_set = set(words)
@@ -276,8 +455,7 @@ class FeatureExtractor:
         are normally removed by the rule filter first).
         """
         accumulator = ItemAccumulator()
-        for text in comments:
-            accumulator.add(self.comment_stats(text))
+        accumulator.add_many(self.comment_stats_many(list(comments)))
         return accumulator.to_vector()
 
     # -- batches -----------------------------------------------------------

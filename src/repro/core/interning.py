@@ -1,0 +1,155 @@
+"""Token interning: segmented words as ``int32`` id arrays.
+
+Every Table II feature is a function of a comment's segmentation, its
+lexicon membership and its sentiment.  Computing those from Python
+string lists means hashing every word several times per comment (set
+intersection against the lexicons, Counter construction, NB vocabulary
+encoding).  :class:`TokenInterner` hashes each *distinct* word exactly
+once, assigning it a dense ``int32`` id, and maintains three id-indexed
+arrays:
+
+* ``positive_mask`` / ``negative_mask`` -- boolean membership of the
+  expanded sentiment lexicons, so distinct-positive counts and
+  positive-bigram counts become mask gathers;
+* ``sentiment_ids`` -- the word's id in the sentiment model's NB
+  vocabulary (``-1`` when outside it), so sentiment scoring becomes an
+  integer gather instead of string encoding.
+
+An interner is built against one lexicon pair plus one sentiment
+vocabulary and is *append-only*: ids are stable for the life of the
+interner, so cached per-comment statistics remain valid.  When the
+analyzer's resources are replaced, a new interner must be built (the
+semantic analyzer handles that -- see
+:meth:`repro.core.analyzer.SemanticAnalyzer.interner`); interner
+*identity* therefore doubles as the analysis-version token the shared
+analysis cache keys on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.text.vocabulary import Vocabulary
+
+
+class TokenInterner:
+    """Append-only word <-> ``int32`` id mapping with derived id tables.
+
+    Parameters
+    ----------
+    positive / negative:
+        The expanded sentiment lexicons (any set-like container; the
+        analyzer passes its ``frozenset`` pair).
+    sentiment_vocabulary:
+        The sentiment model's NB vocabulary, or ``None`` when no
+        sentiment model is available (all ids then map to ``-1``).
+    """
+
+    def __init__(
+        self,
+        positive: frozenset[str] | set[str],
+        negative: frozenset[str] | set[str],
+        sentiment_vocabulary: Vocabulary | None = None,
+        initial_capacity: int = 1024,
+    ) -> None:
+        if initial_capacity < 1:
+            raise ValueError(
+                f"initial_capacity must be >= 1, got {initial_capacity}"
+            )
+        self._positive = positive
+        self._negative = negative
+        self._sentiment_vocabulary = sentiment_vocabulary
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        self._positive_mask = np.zeros(initial_capacity, dtype=bool)
+        self._negative_mask = np.zeros(initial_capacity, dtype=bool)
+        self._sentiment_ids = np.full(initial_capacity, -1, dtype=np.int32)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    @property
+    def positive_mask(self) -> np.ndarray:
+        """Boolean positive-lexicon membership indexed by id.
+
+        The array is capacity-sized; only indices below ``len(self)``
+        are meaningful, which is all an id array can contain.
+        """
+        return self._positive_mask
+
+    @property
+    def negative_mask(self) -> np.ndarray:
+        """Boolean negative-lexicon membership indexed by id."""
+        return self._negative_mask
+
+    @property
+    def sentiment_ids(self) -> np.ndarray:
+        """NB-vocabulary id (or -1) indexed by id."""
+        return self._sentiment_ids
+
+    def _grow(self, needed: int) -> None:
+        capacity = len(self._positive_mask)
+        if needed <= capacity:
+            return
+        new_capacity = capacity
+        while new_capacity < needed:
+            new_capacity *= 2
+        for name in ("_positive_mask", "_negative_mask", "_sentiment_ids"):
+            old = getattr(self, name)
+            grown = np.full(
+                new_capacity,
+                -1 if old.dtype == np.int32 else False,
+                dtype=old.dtype,
+            )
+            grown[:capacity] = old
+            setattr(self, name, grown)
+
+    def _intern_new(self, word: str) -> int:
+        idx = len(self._id_to_word)
+        self._grow(idx + 1)
+        self._word_to_id[word] = idx
+        self._id_to_word.append(word)
+        self._positive_mask[idx] = word in self._positive
+        self._negative_mask[idx] = word in self._negative
+        if self._sentiment_vocabulary is not None:
+            self._sentiment_ids[idx] = self._sentiment_vocabulary.get_id(
+                word, -1
+            )
+        return idx
+
+    # -- encoding ----------------------------------------------------------
+
+    def intern(self, word: str) -> int:
+        """Id of *word*, assigning a fresh id on first sight."""
+        idx = self._word_to_id.get(word)
+        if idx is None:
+            idx = self._intern_new(word)
+        return idx
+
+    def encode(self, words: Sequence[str]) -> np.ndarray:
+        """Map a segmented comment to an ``int32`` id array.
+
+        Unlike :meth:`Vocabulary.encode` nothing is dropped: unknown
+        words are interned on the fly, so ``len(result) == len(words)``
+        always holds and length-derived features stay exact.
+        """
+        word_to_id = self._word_to_id
+        out = np.empty(len(words), dtype=np.int32)
+        for i, word in enumerate(words):
+            idx = word_to_id.get(word)
+            if idx is None:
+                idx = self._intern_new(word)
+            out[i] = idx
+        return out
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map ids back to their words."""
+        id_to_word = self._id_to_word
+        return [id_to_word[i] for i in ids]

@@ -304,11 +304,18 @@ class StreamingDetector:
 
         Only the suffix beyond ``n_accumulated`` pays segmentation and
         sentiment cost; everything earlier is already in the running
-        sums.
+        sums.  The suffix goes through the extractor's batch path, so
+        its sentiment is one NB call and duplicate texts hit the
+        shared analysis cache.
         """
-        extractor = self.cats.feature_extractor
-        for comment in state.comments[state.n_accumulated :]:
-            state.accumulator.add(extractor.comment_stats(comment.content))
+        texts = [
+            comment.content
+            for comment in state.comments[state.n_accumulated :]
+        ]
+        if texts:
+            state.accumulator.add_many(
+                self.cats.feature_extractor.comment_stats_many(texts)
+            )
         state.n_accumulated = len(state.comments)
 
     def _finish_score(
@@ -392,12 +399,40 @@ class StreamingDetector:
         results: dict[int, float] = {}
         to_predict: list[tuple[int, _ItemState, np.ndarray]] = []
         detector = self.cats.detector
+
+        # Batch the comment analysis across every scoreable item: all
+        # unanalyzed suffixes go through one comment_stats_many call
+        # (one batched sentiment call; duplicates across items resolve
+        # in the shared cache), then each item folds its own slice in
+        # buffer order -- bit-identical to per-item accumulation.
+        eligible: list[tuple[int, _ItemState]] = []
+        spans: list[tuple[_ItemState, int, int]] = []
+        all_texts: list[str] = []
         for item_id in unique_ids:
             state = self._items[item_id]
             if len(state.comments) < self.min_comments_to_score:
                 results[item_id] = state.last_probability
                 continue
-            self._accumulate_unseen(state)
+            eligible.append((item_id, state))
+            start = len(all_texts)
+            all_texts.extend(
+                comment.content
+                for comment in state.comments[state.n_accumulated :]
+            )
+            spans.append((state, start, len(all_texts)))
+        if all_texts:
+            stats_list = self.cats.feature_extractor.comment_stats_many(
+                all_texts
+            )
+            for state, start, end in spans:
+                if start < end:
+                    state.accumulator.add_many(stats_list[start:end])
+                state.n_accumulated = len(state.comments)
+        else:
+            for state, _, _ in spans:
+                state.n_accumulated = len(state.comments)
+
+        for item_id, state in eligible:
             features = state.accumulator.to_vector()
             if detector.rule_filter.passes(
                 state.sales_volume, len(state.comments), features

@@ -12,6 +12,8 @@ Two variants are needed:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X_y, check_array
@@ -119,17 +121,67 @@ class MultinomialNB:
         self.class_log_prior_ = np.log(class_docs / class_docs.sum())
         return self
 
-    def predict_log_proba(self, document: list[int]) -> np.ndarray:
-        """Log posterior ``[log P(neg|doc), log P(pos|doc)]``."""
-        if not hasattr(self, "feature_log_prob_"):
-            raise RuntimeError("MultinomialNB is not fitted; call fit() first")
-        scores = self.class_log_prior_.copy()
-        for token in document:
-            if 0 <= token < self.vocab_size:
-                scores = scores + self.feature_log_prob_[:, token]
-        scores -= max(scores)
+    def _log_posterior(self, token_ids: np.ndarray) -> np.ndarray:
+        """Normalized log posterior from a pre-validated token-id array.
+
+        This is the single scoring kernel: one column gather from the
+        per-class log-likelihood table plus one ``np.sum`` per class.
+        Every public prediction entry point -- scalar, id-array and
+        batched -- funnels through it, which is what makes the scalar
+        and vectorized sentiment paths bit-identical (same array, same
+        reduction).
+        """
+        scores = self.class_log_prior_ + self.feature_log_prob_[
+            :, token_ids
+        ].sum(axis=1)
+        scores -= scores.max()
         norm = np.log(np.sum(np.exp(scores)))
         return scores - norm
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "feature_log_prob_"):
+            raise RuntimeError("MultinomialNB is not fitted; call fit() first")
+
+    def predict_log_proba(self, document: list[int]) -> np.ndarray:
+        """Log posterior ``[log P(neg|doc), log P(pos|doc)]``.
+
+        Tokens outside ``[0, vocab_size)`` are ignored, as before.
+        """
+        self._check_fitted()
+        tokens = np.fromiter(
+            (t for t in document if 0 <= t < self.vocab_size),
+            dtype=np.intp,
+        )
+        return self._log_posterior(tokens)
+
+    def predict_log_proba_ids(self, token_ids: np.ndarray) -> np.ndarray:
+        """Log posterior from an integer id array (the interned path).
+
+        Negative ids mark out-of-vocabulary tokens and are dropped,
+        mirroring how :meth:`predict_log_proba` ignores unknown tokens.
+        Ids must be below ``vocab_size``.
+        """
+        self._check_fitted()
+        token_ids = np.asarray(token_ids)
+        if token_ids.size and token_ids.min() < 0:
+            token_ids = token_ids[token_ids >= 0]
+        return self._log_posterior(token_ids)
+
+    def predict_log_proba_many(
+        self, documents: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Log posteriors for a batch of id arrays, shape ``(n, 2)``.
+
+        Row *i* is bit-identical to
+        ``predict_log_proba_ids(documents[i])`` -- each document goes
+        through the same kernel; batching removes the per-call Python
+        dispatch, not the per-document arithmetic.
+        """
+        self._check_fitted()
+        out = np.empty((len(documents), 2))
+        for i, doc in enumerate(documents):
+            out[i] = self.predict_log_proba_ids(doc)
+        return out
 
     def predict_proba(self, document: list[int]) -> np.ndarray:
         """Posterior ``[P(neg|doc), P(pos|doc)]``."""
@@ -138,3 +190,13 @@ class MultinomialNB:
     def positive_probability(self, document: list[int]) -> float:
         """Convenience: ``P(positive | document)`` in [0, 1]."""
         return float(self.predict_proba(document)[1])
+
+    def positive_probability_ids(self, token_ids: np.ndarray) -> float:
+        """``P(positive | ids)`` from an interned id array."""
+        return float(np.exp(self.predict_log_proba_ids(token_ids))[1])
+
+    def positive_probability_many(
+        self, documents: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """``P(positive)`` per document, shape ``(n,)``."""
+        return np.exp(self.predict_log_proba_many(documents))[:, 1]

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.ml.naive_bayes import MultinomialNB
 from repro.text.vocabulary import Vocabulary
 
@@ -75,9 +77,40 @@ class SentimentModel:
         encoded = self._vocabulary.encode(words)
         return self._nb.positive_probability(encoded)
 
+    def score_ids(self, token_ids: np.ndarray) -> float:
+        """``P(positive)`` from an array of NB-vocabulary token ids.
+
+        Ids of ``-1`` mark words outside the sentiment vocabulary and
+        are ignored -- the interned fast path
+        (:meth:`repro.core.features.CommentStats.from_ids`) maps
+        segmenter output to these ids once and scores without
+        re-encoding strings.  Bit-identical to :meth:`score` on the
+        corresponding word sequence.
+        """
+        self._check_fitted()
+        return self._nb.positive_probability_ids(token_ids)
+
+    def score_ids_many(
+        self, documents: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """``P(positive)`` per id-array document, shape ``(n,)``.
+
+        Entry *i* is bit-identical to ``score_ids(documents[i])``; the
+        batch form exists so the feature extractor and the serving
+        layer pay one call per micro-batch instead of one per comment.
+        """
+        self._check_fitted()
+        return self._nb.positive_probability_many(documents)
+
     def score_many(self, comments: Sequence[Sequence[str]]) -> list[float]:
-        """Score every comment in *comments*."""
-        return [self.score(comment) for comment in comments]
+        """Score every comment; entry *i* equals ``score(comments[i])``."""
+        self._check_fitted()
+        assert self._vocabulary is not None
+        encoded = [
+            np.asarray(self._vocabulary.encode(comment), dtype=np.intp)
+            for comment in comments
+        ]
+        return [float(p) for p in self._nb.positive_probability_many(encoded)]
 
     def predict(self, words: Sequence[str]) -> int:
         """Hard sentiment label (1 = positive) for one comment."""

@@ -212,7 +212,7 @@ class DetectionService:
         }
 
     def stats(self) -> dict[str, Any]:
-        """Queue, batching, streaming and checkpoint counters."""
+        """Queue, batching, streaming, cache and checkpoint counters."""
         stream = self.stream
         stats: dict[str, Any] = dict(self._batcher.stats())
         stats.update(
@@ -226,6 +226,19 @@ class DetectionService:
                 "checkpoint_failures": self.n_checkpoint_failures,
             }
         )
+        cache_info = self.cats.feature_extractor.cache_info()
+        if cache_info is not None:
+            stats.update(
+                {
+                    "analysis_cache_hits": cache_info.hits,
+                    "analysis_cache_misses": cache_info.misses,
+                    "analysis_cache_evictions": cache_info.evictions,
+                    "analysis_cache_size": cache_info.size,
+                    "analysis_cache_hit_rate": round(
+                        cache_info.hit_rate, 4
+                    ),
+                }
+            )
         if self.last_checkpoint_error is not None:
             stats["last_checkpoint_error"] = self.last_checkpoint_error
         return stats

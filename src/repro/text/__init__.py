@@ -7,9 +7,12 @@ feature can be computed.  This subpackage reproduces that substrate:
 
 * :mod:`repro.text.tokenizer` -- low-level character classification and
   punctuation handling.
+* :mod:`repro.text.trie` -- character trie over the segmentation
+  dictionary; candidate-word generation for the segmenters.
 * :mod:`repro.text.segmentation` -- dictionary-driven word segmenters
-  (forward/backward maximum matching and a unigram Viterbi segmenter),
-  the moral equivalent of the jieba-style segmenter the paper relies on.
+  (forward/backward maximum matching and a trie-backed unigram Viterbi
+  segmenter), the moral equivalent of the jieba-style segmenter the
+  paper relies on.
 * :mod:`repro.text.vocabulary` -- word/frequency bookkeeping shared by the
   segmenters and the word2vec trainer.
 * :mod:`repro.text.ngrams` -- contiguous n-gram extraction used by the
@@ -27,10 +30,12 @@ from repro.text.segmentation import (
 )
 from repro.text.stats import (
     comment_entropy,
+    entropy_from_counts,
     punctuation_count,
     punctuation_ratio,
     unique_word_ratio,
 )
+from repro.text.trie import Trie
 from repro.text.tokenizer import (
     PUNCTUATION,
     is_punctuation,
@@ -44,10 +49,12 @@ __all__ = [
     "BidirectionalMatcher",
     "DictionarySegmenter",
     "MaxMatchSegmenter",
+    "Trie",
     "ViterbiSegmenter",
     "Vocabulary",
     "bigrams",
     "comment_entropy",
+    "entropy_from_counts",
     "is_punctuation",
     "ngrams",
     "positive_bigram_count",

@@ -9,7 +9,7 @@ test.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Container, Sequence
 
 
 def ngrams(words: Sequence[str], n: int) -> list[tuple[str, ...]]:
@@ -31,20 +31,18 @@ def bigrams(words: Sequence[str]) -> list[tuple[str, str]]:
 
 
 def is_positive_bigram(
-    bigram: tuple[str, str], positive_words: Iterable[str]
+    bigram: tuple[str, str], positive_words: Container[str]
 ) -> bool:
     """True when at least one word of *bigram* is in *positive_words*.
 
     This is the paper's definition of membership in the positive 2-gram
-    set ``G``.
+    set ``G``.  *positive_words* must support fast membership (a
+    ``set``/``frozenset`` -- the lexicons are ``frozenset`` end-to-end);
+    callers converting from another iterable must do so once, not per
+    bigram.
     """
-    positive = (
-        positive_words
-        if isinstance(positive_words, (set, frozenset))
-        else set(positive_words)
-    )
     first, second = bigram
-    return first in positive or second in positive
+    return first in positive_words or second in positive_words
 
 
 def positive_bigram_count(

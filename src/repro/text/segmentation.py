@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Mapping
 
 from repro.text.tokenizer import split_punctuation
+from repro.text.trie import Trie
 from repro.text.vocabulary import Vocabulary
 
 #: Log-probability assigned to a character that must be emitted as an
@@ -47,8 +48,15 @@ class DictionarySegmenter(ABC):
     """
 
     def __init__(self, lexicon: Vocabulary | Mapping[str, int]) -> None:
+        # The mapping is treated as read-only and is NOT copied: a
+        # Vocabulary shares its internal counts and a dict is used
+        # as-is, so constructing a segmenter (or the two directional
+        # children of a BidirectionalMatcher) costs O(1) extra memory
+        # instead of re-materializing the full dictionary each time.
         if isinstance(lexicon, Vocabulary):
-            self._counts = {word: lexicon.count(word) for word in lexicon}
+            self._counts: Mapping[str, int] = lexicon.counts_mapping()
+        elif isinstance(lexicon, dict):
+            self._counts = lexicon
         else:
             self._counts = dict(lexicon)
         if not self._counts:
@@ -171,8 +179,19 @@ class ViterbiSegmenter(DictionarySegmenter):
     Each dictionary word ``w`` carries log-probability
     ``log(count(w) + 1) - log(total + V)`` (add-one smoothing); unknown
     single characters are allowed at a strong penalty so that every input
-    remains segmentable.  Dynamic programming finds the word sequence with
-    the highest total log-probability in ``O(n * max_word_len)``.
+    remains segmentable.
+
+    Candidate words are generated from a :class:`~repro.text.trie.Trie`
+    over the dictionary: from each start position the trie is walked one
+    node per character and stops at the first dead prefix, so only
+    substrings that are prefixes of real dictionary words are ever
+    considered (the original implementation hashed *every* substring up
+    to ``max_word_len``, almost all misses).  The forward dynamic
+    program relaxes ``best[end]`` in exactly the same candidate order as
+    the substring-hashing reference (for each end, starts ascending with
+    a strictly-greater update), so the segmentation output is identical
+    -- :meth:`_segment_run_reference` keeps the original algorithm as
+    the property-tested reference.
     """
 
     def __init__(self, lexicon: Vocabulary | Mapping[str, int]) -> None:
@@ -183,6 +202,7 @@ class ViterbiSegmenter(DictionarySegmenter):
             word: math.log(count + 1) - denom
             for word, count in self._counts.items()
         }
+        self._trie = Trie(self._log_probs)
 
     def word_log_prob(self, word: str) -> float:
         """Return the smoothed unigram log-probability of *word*."""
@@ -192,8 +212,49 @@ class ViterbiSegmenter(DictionarySegmenter):
         n = len(run)
         if n == 0:
             return []
-        # best[i] = best log-prob of segmenting run[:i]; back[i] = start of
-        # the final word in that segmentation.
+        # Forward relaxation: when the outer loop reaches `start`,
+        # best[start] is final (all candidate words end strictly later
+        # than they begin).  best[i] = best log-prob of segmenting
+        # run[:i]; back[i] = start of the final word.
+        best = [-math.inf] * (n + 1)
+        back = [0] * (n + 1)
+        best[0] = 0.0
+        matches_from = self._trie.matches_from
+        for start in range(n):
+            base = best[start]
+            has_single = False
+            for end, log_prob in matches_from(run, start):
+                if end == start + 1:
+                    has_single = True
+                score = base + log_prob
+                if score > best[end]:
+                    best[end] = score
+                    back[end] = start
+            if not has_single:
+                # OOV fallback: emit run[start] as a single-character
+                # word at a strong penalty so every input segments.
+                score = base + _OOV_LOG_PROB
+                if score > best[start + 1]:
+                    best[start + 1] = score
+                    back[start + 1] = start
+        words: list[str] = []
+        end = n
+        while end > 0:
+            start = back[end]
+            words.append(run[start:end])
+            end = start
+        words.reverse()
+        return words
+
+    def _segment_run_reference(self, run: str) -> list[str]:
+        """Substring-hashing reference implementation (pre-trie).
+
+        Kept verbatim so the property tests can assert the trie-driven
+        fast path produces identical segmentations.
+        """
+        n = len(run)
+        if n == 0:
+            return []
         best = [-math.inf] * (n + 1)
         back = [0] * (n + 1)
         best[0] = 0.0

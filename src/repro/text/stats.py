@@ -9,11 +9,30 @@ word-segmentation result, mirroring the paper's notation where a comment
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.text.tokenizer import PUNCTUATION
+
+
+def entropy_from_counts(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a vector of occurrence counts.
+
+    This is the single entropy kernel shared by the scalar
+    (:func:`comment_entropy`) and vectorized
+    (:meth:`repro.core.features.CommentStats.from_ids`) analysis paths.
+    The counts are sorted before the reduction so the float summation
+    order depends only on the count *multiset*, never on word insertion
+    or token-id order -- that is what makes the two paths bit-identical.
+    """
+    if len(counts) == 0:
+        return 0.0
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    p = counts / counts.sum()
+    # +0.0 normalizes the -0.0 produced by a single-word comment.
+    return float(-(p * np.log(p)).sum() + 0.0)
 
 
 def comment_entropy(words: Sequence[str]) -> float:
@@ -29,13 +48,8 @@ def comment_entropy(words: Sequence[str]) -> float:
     """
     if not words:
         return 0.0
-    counts = Counter(words)
-    total = len(words)
-    entropy = 0.0
-    for count in counts.values():
-        p = count / total
-        entropy -= p * math.log(p)
-    return entropy
+    counts = np.fromiter(Counter(words).values(), dtype=np.int64)
+    return entropy_from_counts(counts)
 
 
 def unique_word_ratio(words: Sequence[str]) -> float:

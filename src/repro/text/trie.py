@@ -1,0 +1,105 @@
+"""Character trie over the segmentation dictionary.
+
+The dictionary segmenters all answer one question in their inner loop:
+*which dictionary words start at position i of this run?*  The original
+implementation answered it by hashing every substring ``run[i:j]`` with
+``j - i <= max_word_len`` against a dict -- ``O(max_word_len)`` string
+slices and hash probes per position, almost all of them misses.  A
+:class:`Trie` answers the same question by walking one node per
+character from position ``i`` and stopping at the first character that
+has no continuation, so only prefixes that actually lead somewhere in
+the dictionary are ever touched, and no substring objects are built for
+the misses.
+
+The trie stores an arbitrary payload per word (the Viterbi segmenter
+stores unigram log-probabilities), so lookups double as probability
+reads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+#: Node key under which a terminal payload is stored.  Words are
+#: non-empty strings, so the empty string can never collide with a
+#: child-character key.
+_WORD_KEY = ""
+
+#: Distinguishes "no payload" from a stored falsy payload (0.0 is a
+#: legitimate log-probability).
+_MISSING = object()
+
+
+class Trie:
+    """Prefix tree mapping words to payloads.
+
+    Nodes are plain dicts: character keys map to child nodes, and the
+    reserved empty-string key holds the payload of a word ending at the
+    node.  This keeps lookups to one dict probe per character with no
+    per-node object overhead.
+    """
+
+    def __init__(self, items: Mapping[str, Any] | None = None) -> None:
+        self._root: dict = {}
+        self._n_words = 0
+        self._max_depth = 0
+        if items:
+            for word, value in items.items():
+                self.insert(word, value)
+
+    def __len__(self) -> int:
+        return self._n_words
+
+    def __contains__(self, word: str) -> bool:
+        return self.get(word, _MISSING) is not _MISSING
+
+    @property
+    def max_depth(self) -> int:
+        """Length of the longest inserted word."""
+        return self._max_depth
+
+    def insert(self, word: str, value: Any) -> None:
+        """Store *value* under *word* (overwrites an existing payload)."""
+        if not word:
+            raise ValueError("trie words must be non-empty")
+        node = self._root
+        for char in word:
+            child = node.get(char)
+            if child is None:
+                child = {}
+                node[char] = child
+            node = child
+        if _WORD_KEY not in node:
+            self._n_words += 1
+            if len(word) > self._max_depth:
+                self._max_depth = len(word)
+        node[_WORD_KEY] = value
+
+    def get(self, word: str, default: Any = None) -> Any:
+        """Payload stored under *word*, or *default*."""
+        node = self._root
+        for char in word:
+            node = node.get(char)
+            if node is None:
+                return default
+        return node.get(_WORD_KEY, default)
+
+    def matches_from(
+        self, text: str, start: int
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(end, payload)`` for every word matching ``text[start:end]``.
+
+        Matches are produced shortest-first.  The walk stops at the
+        first character with no trie continuation, so the cost is the
+        length of the longest dictionary *prefix* at ``start``, not
+        ``max_word_len``.
+        """
+        node = self._root
+        for i in range(start, len(text)):
+            node = node.get(text[i])
+            if node is None:
+                return
+            value = node.get(_WORD_KEY, _MISSING)
+            if value is not _MISSING:
+                yield i + 1, value

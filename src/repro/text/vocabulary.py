@@ -87,6 +87,19 @@ class Vocabulary:
         """Return the corpus frequency of *word* (0 when unknown)."""
         return self._counts.get(word, 0)
 
+    def get_id(self, word: str, default: int = -1) -> int:
+        """Return the id of *word*, or *default* when unknown."""
+        return self._word_to_id.get(word, default)
+
+    def counts_mapping(self) -> Mapping[str, int]:
+        """The internal ``{word: count}`` mapping, shared not copied.
+
+        Callers must treat the mapping as read-only; it is handed out so
+        consumers like the dictionary segmenters can avoid
+        re-materializing the full dictionary on every construction.
+        """
+        return self._counts
+
     def encode(self, sentence: Iterable[str]) -> list[int]:
         """Map a segmented sentence to ids, silently dropping unknown words."""
         return [
