@@ -1,7 +1,7 @@
 # Builder entry points.  `make verify` is the one-command check used
-# before shipping: tier-1 tests + the comment-pipeline, streaming and
-# serving smoke benches.  `make serve` trains a toy model on first use
-# and serves it.
+# before shipping: tier-1 tests + the comment-pipeline, streaming,
+# serving and training smoke benches.  `make serve` trains a toy model
+# on first use and serves it.
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
@@ -9,7 +9,7 @@ export PYTHONPATH
 TOY_MODEL := examples/toy_model
 
 .PHONY: verify test bench-smoke bench-smoke-serving \
-	bench-smoke-pipeline bench serve
+	bench-smoke-pipeline bench-smoke-training bench serve
 
 verify:
 	sh scripts/verify.sh
@@ -25,6 +25,9 @@ bench-smoke-serving:
 
 bench-smoke-pipeline:
 	python benchmarks/bench_comment_pipeline.py --quick
+
+bench-smoke-training:
+	python benchmarks/bench_training.py --quick
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

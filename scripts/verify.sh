@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # One-command builder verification: the tier-1 test suite plus the
-# comment-pipeline, streaming and serving smoke benches (which assert
-# the bit-identity and incremental-extraction invariants, not just
-# timings).  Also available as `make verify`.
+# comment-pipeline, streaming, serving and training smoke benches
+# (which assert the bit-identity and incremental-extraction
+# invariants, not just timings).  Also available as `make verify`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,6 +17,9 @@ python benchmarks/bench_streaming_throughput.py --quick
 
 echo "==> serving throughput smoke bench (--quick)"
 python benchmarks/bench_serving_throughput.py --quick
+
+echo "==> training stack smoke bench (--quick)"
+python benchmarks/bench_training.py --quick
 
 echo "==> tier-1 test suite"
 python -m pytest -x -q

@@ -56,6 +56,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"trained on D0 ({d0.summary()}) -> saved to {args.model_dir}",
         file=sys.stderr,
     )
+    if args.cv:
+        scores = cats.cross_validate_detector(
+            cats.extract_features(d0.items),
+            d0.labels,
+            n_splits=args.cv,
+            n_workers=args.cv_workers,
+        )
+        print(
+            json.dumps({"cv": {k: round(v, 4) for k, v in scores.items()}})
+        )
     return 0
 
 
@@ -204,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--scale", type=float, default=0.05,
         help="D0 dataset scale (1.0 = paper size)",
+    )
+    train.add_argument(
+        "--cv", type=int, default=0, metavar="K",
+        help="also run K-fold CV of the detector on D0 (0 = skip)",
+    )
+    train.add_argument(
+        "--cv-workers", type=int, default=None,
+        help="fit CV folds on this many workers (default serial; "
+        "metrics are identical for any worker count)",
     )
     train.set_defaults(func=_cmd_train)
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import LexiconConfig
 from repro.semantics.similarity import expand_lexicon
 from repro.semantics.word2vec import Word2Vec
@@ -77,22 +79,41 @@ def build_lexicon_pair(
     pos_set = set(positive)
     neg_set = set(negative)
     contested = pos_set & neg_set
-    for word in contested:
-        pos_sim = _mean_seed_similarity(model, word, positive_seeds)
-        neg_sim = _mean_seed_similarity(model, word, negative_seeds)
-        if pos_sim >= neg_sim:
-            neg_set.discard(word)
-        else:
-            pos_set.discard(word)
+    if contested:
+        normed = model.normalized_vectors()
+        for word in contested:
+            pos_sim = _mean_seed_similarity(
+                model, word, positive_seeds, normed
+            )
+            neg_sim = _mean_seed_similarity(
+                model, word, negative_seeds, normed
+            )
+            if pos_sim >= neg_sim:
+                neg_set.discard(word)
+            else:
+                pos_set.discard(word)
     return SentimentLexicon(
         positive=frozenset(pos_set), negative=frozenset(neg_set)
     )
 
 
 def _mean_seed_similarity(
-    model: Word2Vec, word: str, seeds: list[str]
+    model: Word2Vec,
+    word: str,
+    seeds: list[str],
+    normed: np.ndarray | None = None,
 ) -> float:
-    known = [s for s in seeds if s in model]
-    if not known:
+    """Mean cosine of *word* to every known seed, in one gather + matvec.
+
+    Zero-norm rows stay all-zero in ``normalized_vectors``, so they
+    contribute 0.0 exactly like ``model.similarity`` reports for them.
+    """
+    known_ids = [
+        model.vocabulary.word_id(s) for s in seeds if s in model
+    ]
+    if not known_ids:
         return float("-inf")
-    return sum(model.similarity(word, seed) for seed in known) / len(known)
+    if normed is None:
+        normed = model.normalized_vectors()
+    sims = normed[known_ids] @ normed[model.vocabulary.word_id(word)]
+    return float(sims.mean())

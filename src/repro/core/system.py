@@ -92,6 +92,43 @@ class CATS:
         """Detect when features were already extracted (avoids rework)."""
         return self.detector.detect(items, features)
 
+    # -- model selection ------------------------------------------------------
+
+    def cross_validate_detector(
+        self,
+        features: np.ndarray,
+        labels: Sequence[int],
+        n_splits: int = 5,
+        n_workers: int | None = None,
+    ) -> dict[str, float]:
+        """K-fold CV of the configured stage-2 classifier on a feature
+        matrix (the paper's Table III protocol for one candidate).
+
+        ``n_workers > 1`` fits the folds concurrently (see
+        :func:`repro.ml.model_selection.cross_validate`); the metric
+        dict is bitwise identical for every worker count.
+        """
+        from repro.core.detector import (
+            CLASSIFIER_FACTORIES,
+            SCALED_CLASSIFIERS,
+        )
+        from repro.ml import StandardScaler
+        from repro.ml.model_selection import cross_validate
+
+        X = np.asarray(features, dtype=np.float64)
+        name = self.config.detector.classifier
+        if name in SCALED_CLASSIFIERS:
+            X = StandardScaler().fit(X).transform(X)
+        factory = CLASSIFIER_FACTORIES[name]
+        model_seed = self.config.detector.seed
+        return cross_validate(
+            lambda: factory(model_seed),
+            X,
+            np.asarray(labels),
+            n_splits=n_splits,
+            n_workers=n_workers,
+        )
+
     # -- introspection --------------------------------------------------------
 
     def feature_importances(self) -> np.ndarray | None:

@@ -23,7 +23,13 @@ the SVM / MLP, which need standardized inputs).
 """
 
 from repro.ml.adaboost import AdaBoostClassifier
-from repro.ml.base import BaseClassifier, check_X_y, check_array
+from repro.ml.base import (
+    BaseClassifier,
+    check_X_y,
+    check_array,
+    spawn_seeds,
+    stable_sigmoid,
+)
 from repro.ml.calibration import (
     brier_score,
     expected_calibration_error,
@@ -86,6 +92,8 @@ __all__ = [
     "classification_report",
     "confusion_matrix",
     "cross_validate",
+    "spawn_seeds",
+    "stable_sigmoid",
     "f1_score",
     "precision_recall_f1",
     "precision_score",

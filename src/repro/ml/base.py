@@ -103,3 +103,36 @@ def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function ``1 / (1 + exp(-z))``.
+
+    Evaluates ``exp`` only on non-positive arguments so neither branch
+    can overflow; shared by every model that needs a logistic link
+    (GBDT loss/probabilities, word2vec negative sampling, MLP output).
+    """
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    exp_z = np.exp(z[~pos])
+    out[~pos] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def spawn_seeds(seed: int | np.random.Generator | None, n: int) -> list[int]:
+    """Derive *n* independent integer child seeds from a parent seed.
+
+    The derivation is deterministic for int seeds (via
+    ``np.random.SeedSequence(seed).spawn``) and consumes the parent
+    Generator exactly once when one is passed, so child tasks can run
+    in any order -- or in parallel workers -- without ever sharing an
+    RNG stream.  Used by parallel cross-validation and tuning.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return [int(s) for s in seed.integers(0, 2**63 - 1, size=n)]
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]

@@ -8,7 +8,19 @@ implements the algorithm of Chen & Guestrin (KDD'16) from scratch:
   ``w* = -G / (H + lambda)`` and split gain
   ``1/2 * [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)] - gamma``;
 * shrinkage (``learning_rate``), row subsampling and column subsampling;
-* exact greedy split finding over sorted columns.
+* two split-finding strategies, selected by ``tree_method``:
+
+  - ``"hist"`` (the default): features are pre-binned *once per fit*
+    into at most ``n_bins`` quantile bins (uint8 codes).  Each node
+    builds per-bin gradient/hessian histograms with ``np.bincount``,
+    scans bin boundaries for the best split, and derives one child's
+    histogram from its sibling by subtraction (parent - child), as in
+    LightGBM.  Split-finding cost per node is O(rows + bins) instead
+    of O(rows * log rows) per feature.
+  - ``"exact"``: greedy split finding over sorted columns, kept as the
+    quality-parity reference.  Each column is argsorted once at the
+    tree root; nodes recover their sorted order by filtering the root
+    order with a membership mask instead of re-slicing and re-sorting.
 
 Feature importance is exposed both as split counts (the "weight"
 importance the paper plots in its Fig. 7: "the times this feature is
@@ -21,9 +33,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ml.base import BaseClassifier, as_rng, check_X_y, check_array
+from repro.ml.base import (
+    BaseClassifier,
+    as_rng,
+    check_X_y,
+    check_array,
+    stable_sigmoid,
+)
 
 _LEAF = -1
+
+#: Back-compat alias; the single implementation lives in ``repro.ml.base``.
+_sigmoid = stable_sigmoid
+
+#: Hard cap on histogram bins so bin codes always fit in uint8.
+_MAX_BINS = 256
 
 
 @dataclass
@@ -58,8 +82,75 @@ class _BoostTree:
         return self.leaf_weight[node]
 
 
+def _sample_columns(
+    rng: np.random.Generator, n_features: int, colsample: float
+) -> np.ndarray:
+    """Column subset for one tree; shared by both tree methods so a
+    given seed selects identical columns under ``hist`` and ``exact``."""
+    n_cols = max(1, int(round(colsample * n_features)))
+    if n_cols < n_features:
+        return np.sort(rng.choice(n_features, size=n_cols, replace=False))
+    return np.arange(n_features)
+
+
+class _TreeArrays:
+    """Flat node-array accumulator shared by both tree builders."""
+
+    def __init__(self) -> None:
+        self.children_left: list[int] = []
+        self.children_right: list[int] = []
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.leaf_weight: list[float] = []
+        self.split_gain: list[float] = []
+
+    def add_node(self, weight: float) -> int:
+        node_id = len(self.feature)
+        self.children_left.append(_LEAF)
+        self.children_right.append(_LEAF)
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.leaf_weight.append(weight)
+        self.split_gain.append(0.0)
+        return node_id
+
+    def make_split(
+        self,
+        node_id: int,
+        feature: int,
+        threshold: float,
+        gain: float,
+        left: int,
+        right: int,
+    ) -> None:
+        self.feature[node_id] = feature
+        self.threshold[node_id] = threshold
+        self.children_left[node_id] = left
+        self.children_right[node_id] = right
+        self.split_gain[node_id] = gain
+
+    def freeze(self) -> _BoostTree:
+        return _BoostTree(
+            children_left=np.array(self.children_left, dtype=np.int64),
+            children_right=np.array(self.children_right, dtype=np.int64),
+            feature=np.array(self.feature, dtype=np.int64),
+            threshold=np.array(self.threshold, dtype=np.float64),
+            leaf_weight=np.array(self.leaf_weight, dtype=np.float64),
+            split_gain=np.array(self.split_gain, dtype=np.float64),
+        )
+
+
 class _BoostTreeBuilder:
-    """Grows one tree on (gradient, hessian) pairs."""
+    """Grows one tree on (gradient, hessian) pairs by exact greedy search.
+
+    Each selected column is argsorted once over the root rows; every
+    node recovers its own sorted order by filtering that root order
+    through a membership mask (O(root rows) per column) instead of
+    re-slicing and re-sorting the column (O(m log m) per node).  The
+    filtered order equals a stable sort of the node's rows, so the
+    grown tree is bit-identical to the one the per-node-sorting
+    implementation produced.
+    """
 
     def __init__(
         self,
@@ -76,44 +167,25 @@ class _BoostTreeBuilder:
         self.gamma = gamma
         self.colsample = colsample
         self.rng = rng
-        self.children_left: list[int] = []
-        self.children_right: list[int] = []
-        self.feature: list[int] = []
-        self.threshold: list[float] = []
-        self.leaf_weight: list[float] = []
-        self.split_gain: list[float] = []
+        self.arrays = _TreeArrays()
 
     def build(
         self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray, rows: np.ndarray
     ) -> _BoostTree:
         """Grow one tree on the given rows' gradient statistics."""
-        n_features = X.shape[1]
-        n_cols = max(1, int(round(self.colsample * n_features)))
-        if n_cols < n_features:
-            columns = np.sort(
-                self.rng.choice(n_features, size=n_cols, replace=False)
-            )
-        else:
-            columns = np.arange(n_features)
+        columns = _sample_columns(self.rng, X.shape[1], self.colsample)
+        # Root-level sort cache: rows ordered by each column's value.
+        # Stable (mergesort) ties resolve by ascending original index,
+        # matching a stable per-node sort of any descendant's rows.
+        self._root_order = {
+            int(feature): rows[
+                np.argsort(X[rows, feature], kind="mergesort")
+            ]
+            for feature in columns
+        }
+        self._n_total = X.shape[0]
         self._grow(X, grad, hess, rows, columns, depth=0)
-        return _BoostTree(
-            children_left=np.array(self.children_left, dtype=np.int64),
-            children_right=np.array(self.children_right, dtype=np.int64),
-            feature=np.array(self.feature, dtype=np.int64),
-            threshold=np.array(self.threshold, dtype=np.float64),
-            leaf_weight=np.array(self.leaf_weight, dtype=np.float64),
-            split_gain=np.array(self.split_gain, dtype=np.float64),
-        )
-
-    def _add_node(self, weight: float) -> int:
-        node_id = len(self.feature)
-        self.children_left.append(_LEAF)
-        self.children_right.append(_LEAF)
-        self.feature.append(_LEAF)
-        self.threshold.append(0.0)
-        self.leaf_weight.append(weight)
-        self.split_gain.append(0.0)
-        return node_id
+        return self.arrays.freeze()
 
     def _grow(
         self,
@@ -127,7 +199,7 @@ class _BoostTreeBuilder:
         g_sum = float(grad[rows].sum())
         h_sum = float(hess[rows].sum())
         weight = -g_sum / (h_sum + self.reg_lambda)
-        node_id = self._add_node(weight)
+        node_id = self.arrays.add_node(weight)
         if depth >= self.max_depth or h_sum < 2.0 * self.min_child_weight:
             return node_id
         split = self._best_split(X, grad, hess, rows, columns, g_sum, h_sum)
@@ -137,11 +209,7 @@ class _BoostTreeBuilder:
         mask = X[rows, feature] <= threshold
         left = self._grow(X, grad, hess, rows[mask], columns, depth + 1)
         right = self._grow(X, grad, hess, rows[~mask], columns, depth + 1)
-        self.feature[node_id] = feature
-        self.threshold[node_id] = threshold
-        self.children_left[node_id] = left
-        self.children_right[node_id] = right
-        self.split_gain[node_id] = gain
+        self.arrays.make_split(node_id, feature, threshold, gain, left, right)
         return node_id
 
     def _best_split(
@@ -158,14 +226,14 @@ class _BoostTreeBuilder:
         parent_score = g_sum * g_sum / (h_sum + lam)
         best: tuple[int, float, float] | None = None
         best_gain = 0.0
-        g_node = grad[rows]
-        h_node = hess[rows]
+        in_node = np.zeros(self._n_total, dtype=bool)
+        in_node[rows] = True
         for feature in columns:
-            column = X[rows, feature]
-            order = np.argsort(column, kind="mergesort")
-            col_sorted = column[order]
-            g_cum = np.cumsum(g_node[order])
-            h_cum = np.cumsum(h_node[order])
+            root_sorted = self._root_order[int(feature)]
+            node_sorted = root_sorted[in_node[root_sorted]]
+            col_sorted = X[node_sorted, feature]
+            g_cum = np.cumsum(grad[node_sorted])
+            h_cum = np.cumsum(hess[node_sorted])
             valid = np.flatnonzero(col_sorted[:-1] < col_sorted[1:])
             if len(valid) == 0:
                 continue
@@ -189,14 +257,226 @@ class _BoostTreeBuilder:
         return best
 
 
-def _sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(z)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    exp_z = np.exp(z[~pos])
-    out[~pos] = exp_z / (1.0 + exp_z)
-    return out
+class _BinMapper:
+    """Pre-bins a feature matrix into at most ``n_bins`` quantile bins.
+
+    For every feature, the candidate split thresholds are real values
+    usable directly against the raw matrix (``x <= threshold``):
+
+    * when a feature has at most ``n_bins`` distinct values, each value
+      gets its own bin and the thresholds are the midpoints between
+      consecutive distinct values -- exactly the cut points the exact
+      greedy scan would consider;
+    * otherwise thresholds are interior quantiles of the column
+      (deduplicated), giving an even mass split across bins.
+
+    ``codes[i, j] <= t`` is then equivalent to
+    ``X[i, j] <= thresholds[j][t]``.
+    """
+
+    def __init__(self, n_bins: int = _MAX_BINS) -> None:
+        if not 2 <= n_bins <= _MAX_BINS:
+            raise ValueError(
+                f"n_bins must be in [2, {_MAX_BINS}], got {n_bins}"
+            )
+        self.n_bins = n_bins
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Compute per-feature thresholds and return the uint8 bin codes."""
+        n, f = X.shape
+        self.split_points_: list[np.ndarray] = []
+        codes = np.empty((n, f), dtype=np.uint8)
+        for j in range(f):
+            column = X[:, j]
+            distinct = np.unique(column)
+            if len(distinct) <= self.n_bins:
+                splits = 0.5 * (distinct[:-1] + distinct[1:])
+            else:
+                probs = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+                splits = np.unique(np.quantile(column, probs))
+            self.split_points_.append(splits)
+            # code = number of thresholds strictly below x, so
+            # code <= t  <=>  x <= splits[t].
+            codes[:, j] = np.searchsorted(splits, column, side="left")
+        return codes
+
+    @property
+    def n_bins_per_feature(self) -> np.ndarray:
+        return np.array(
+            [len(s) + 1 for s in self.split_points_], dtype=np.int64
+        )
+
+
+class _HistTreeBuilder:
+    """Grows one tree from pre-binned codes using per-node histograms.
+
+    Per node, gradient/hessian histograms over the selected columns are
+    built with a single flat ``np.bincount`` each; splits are found by
+    scanning cumulative sums over bin boundaries.  After a split, only
+    the smaller child's histogram is built directly -- the sibling's is
+    the parent's minus the child's (LightGBM's subtraction trick), so
+    histogram cost per level is bounded by the smaller halves.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        split_points: list[np.ndarray],
+        max_depth: int,
+        min_child_weight: float,
+        reg_lambda: float,
+        gamma: float,
+        colsample: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.codes = codes
+        self.split_points = split_points
+        self.max_depth = max_depth
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.colsample = colsample
+        self.rng = rng
+        self.arrays = _TreeArrays()
+
+    def build(
+        self, grad: np.ndarray, hess: np.ndarray, rows: np.ndarray
+    ) -> _BoostTree:
+        self._set_columns(
+            _sample_columns(self.rng, self.codes.shape[1], self.colsample)
+        )
+        self._grow(grad, hess, rows, hist=None, depth=0)
+        return self.arrays.freeze()
+
+    def _set_columns(self, columns: np.ndarray) -> None:
+        """Lay out this tree's histogram: per-column bin offsets and the
+        pre-offset flat codes, so each node's histogram is a single
+        gather + ravel + bincount."""
+        self.columns = columns
+        n_bins = np.array(
+            [len(self.split_points[j]) + 1 for j in columns], dtype=np.intp
+        )
+        self._offsets = np.concatenate([[0], np.cumsum(n_bins)[:-1]])
+        self._n_bins = n_bins
+        self._total_bins = int(n_bins.sum())
+        self._flat_codes = (
+            self.codes[:, columns].astype(np.intp)
+            + self._offsets[np.newaxis, :]
+        )
+
+    def _histogram(
+        self, grad: np.ndarray, hess: np.ndarray, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat per-(column, bin) gradient and hessian sums."""
+        flat = self._flat_codes[rows].ravel()
+        n_cols = len(self.columns)
+        hist_g = np.bincount(
+            flat,
+            weights=np.repeat(grad[rows], n_cols),
+            minlength=self._total_bins,
+        )
+        hist_h = np.bincount(
+            flat,
+            weights=np.repeat(hess[rows], n_cols),
+            minlength=self._total_bins,
+        )
+        return hist_g, hist_h
+
+    def _grow(
+        self,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rows: np.ndarray,
+        hist: tuple[np.ndarray, np.ndarray] | None,
+        depth: int,
+    ) -> int:
+        g_sum = float(grad[rows].sum())
+        h_sum = float(hess[rows].sum())
+        weight = -g_sum / (h_sum + self.reg_lambda)
+        node_id = self.arrays.add_node(weight)
+        if depth >= self.max_depth or h_sum < 2.0 * self.min_child_weight:
+            return node_id
+        if hist is None:
+            hist = self._histogram(grad, hess, rows)
+        split = self._best_split(hist, g_sum, h_sum)
+        if split is None:
+            return node_id
+        feature, ci, cut, threshold, gain = split
+        left_mask = self.codes[rows, feature] <= cut
+        rows_left = rows[left_mask]
+        rows_right = rows[~left_mask]
+
+        # Sibling subtraction: build the smaller child's histogram
+        # directly, derive the other as parent - child.  Skip the work
+        # entirely when neither child can split again.
+        child_depth = depth + 1
+        children_may_split = child_depth < self.max_depth
+        hist_left: tuple[np.ndarray, np.ndarray] | None = None
+        hist_right: tuple[np.ndarray, np.ndarray] | None = None
+        if children_may_split:
+            if len(rows_left) <= len(rows_right):
+                hist_left = self._histogram(grad, hess, rows_left)
+                hist_right = (
+                    hist[0] - hist_left[0], hist[1] - hist_left[1]
+                )
+            else:
+                hist_right = self._histogram(grad, hess, rows_right)
+                hist_left = (
+                    hist[0] - hist_right[0], hist[1] - hist_right[1]
+                )
+        left = self._grow(grad, hess, rows_left, hist_left, child_depth)
+        right = self._grow(grad, hess, rows_right, hist_right, child_depth)
+        self.arrays.make_split(node_id, feature, threshold, gain, left, right)
+        return node_id
+
+    def _best_split(
+        self,
+        hist: tuple[np.ndarray, np.ndarray],
+        g_sum: float,
+        h_sum: float,
+    ) -> tuple[int, int, int, float, float] | None:
+        lam = self.reg_lambda
+        parent_score = g_sum * g_sum / (h_sum + lam)
+        hist_g, hist_h = hist
+        best: tuple[int, int, int, float, float] | None = None
+        best_gain = 0.0
+        for ci, feature in enumerate(self.columns):
+            splits = self.split_points[feature]
+            if len(splits) == 0:
+                continue
+            lo = self._offsets[ci]
+            hi = lo + self._n_bins[ci]
+            # GL/HL at boundary t = totals over bins 0..t.
+            gl = np.cumsum(hist_g[lo:hi])[:-1]
+            hl = np.cumsum(hist_h[lo:hi])[:-1]
+            gr = g_sum - gl
+            hr = h_sum - hl
+            denom_l = hl + lam
+            denom_r = hr + lam
+            ok = (
+                (hl >= self.min_child_weight)
+                & (hr >= self.min_child_weight)
+                & (denom_l > 0)
+                & (denom_r > 0)
+            )
+            if not np.any(ok):
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gains = 0.5 * (
+                    gl * gl / denom_l + gr * gr / denom_r - parent_score
+                ) - self.gamma
+            gains[~ok] = -np.inf
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain:
+                best_gain = float(gains[best_local])
+                best = (
+                    int(feature),
+                    ci,
+                    best_local,
+                    float(splits[best_local]),
+                    best_gain,
+                )
+        return best
 
 
 class GradientBoostingClassifier(BaseClassifier):
@@ -207,7 +487,9 @@ class GradientBoostingClassifier(BaseClassifier):
     ``n_estimators``, ``learning_rate``, ``max_depth``, ``reg_lambda``
     (L2 on leaf weights), ``gamma`` (min split gain), ``min_child_weight``
     (min hessian per child), ``subsample`` (row sampling per round) and
-    ``colsample`` (column sampling per tree).
+    ``colsample`` (column sampling per tree); plus ``tree_method``
+    (``"hist"`` default, ``"exact"`` reference) and ``n_bins`` (histogram
+    resolution, at most 256).
     """
 
     def __init__(
@@ -220,6 +502,8 @@ class GradientBoostingClassifier(BaseClassifier):
         min_child_weight: float = 1.0,
         subsample: float = 1.0,
         colsample: float = 1.0,
+        tree_method: str = "hist",
+        n_bins: int = _MAX_BINS,
         seed: int | np.random.Generator | None = 0,
     ) -> None:
         if n_estimators < 1:
@@ -232,6 +516,14 @@ class GradientBoostingClassifier(BaseClassifier):
             raise ValueError(f"subsample must be in (0, 1], got {subsample}")
         if not 0.0 < colsample <= 1.0:
             raise ValueError(f"colsample must be in (0, 1], got {colsample}")
+        if tree_method not in ("hist", "exact"):
+            raise ValueError(
+                f"tree_method must be 'hist' or 'exact', got {tree_method!r}"
+            )
+        if not 2 <= n_bins <= _MAX_BINS:
+            raise ValueError(
+                f"n_bins must be in [2, {_MAX_BINS}], got {n_bins}"
+            )
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
@@ -240,6 +532,8 @@ class GradientBoostingClassifier(BaseClassifier):
         self.min_child_weight = min_child_weight
         self.subsample = subsample
         self.colsample = colsample
+        self.tree_method = tree_method
+        self.n_bins = n_bins
         self._seed = seed
 
     def fit(self, X, y) -> "GradientBoostingClassifier":
@@ -250,6 +544,13 @@ class GradientBoostingClassifier(BaseClassifier):
         n = len(y_arr)
         y_float = y_arr.astype(np.float64)
 
+        if self.tree_method == "hist":
+            mapper = _BinMapper(self.n_bins)
+            codes = mapper.fit_transform(X_arr)
+            split_points = mapper.split_points_
+        else:
+            codes = split_points = None
+
         # Initialize at the log-odds of the base rate, like xgboost's
         # base_score after the first boosting round.
         pos_rate = float(np.clip(y_float.mean(), 1e-6, 1.0 - 1e-6))
@@ -258,7 +559,7 @@ class GradientBoostingClassifier(BaseClassifier):
         margin = np.full(n, self.base_margin_, dtype=np.float64)
         self.trees_: list[_BoostTree] = []
         for _ in range(self.n_estimators):
-            prob = _sigmoid(margin)
+            prob = stable_sigmoid(margin)
             grad = prob - y_float
             hess = prob * (1.0 - prob)
             if self.subsample < 1.0:
@@ -266,15 +567,26 @@ class GradientBoostingClassifier(BaseClassifier):
                 rows = np.sort(rng.choice(n, size=n_rows, replace=False))
             else:
                 rows = np.arange(n)
-            builder = _BoostTreeBuilder(
-                max_depth=self.max_depth,
-                min_child_weight=self.min_child_weight,
-                reg_lambda=self.reg_lambda,
-                gamma=self.gamma,
-                colsample=self.colsample,
-                rng=rng,
-            )
-            tree = builder.build(X_arr, grad, hess, rows)
+            if self.tree_method == "hist":
+                tree = _HistTreeBuilder(
+                    codes=codes,
+                    split_points=split_points,
+                    max_depth=self.max_depth,
+                    min_child_weight=self.min_child_weight,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                    colsample=self.colsample,
+                    rng=rng,
+                ).build(grad, hess, rows)
+            else:
+                tree = _BoostTreeBuilder(
+                    max_depth=self.max_depth,
+                    min_child_weight=self.min_child_weight,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                    colsample=self.colsample,
+                    rng=rng,
+                ).build(X_arr, grad, hess, rows)
             margin += self.learning_rate * tree.predict(X_arr)
             self.trees_.append(tree)
         return self
@@ -290,7 +602,7 @@ class GradientBoostingClassifier(BaseClassifier):
 
     def predict_proba(self, X) -> np.ndarray:
         """Return ``(n, 2)`` class probabilities via the logistic link."""
-        prob_pos = _sigmoid(self.decision_function(X))
+        prob_pos = stable_sigmoid(self.decision_function(X))
         return np.column_stack([1.0 - prob_pos, prob_pos])
 
     # -- importance ---------------------------------------------------------
@@ -304,15 +616,25 @@ class GradientBoostingClassifier(BaseClassifier):
         self._check_fitted()
         if kind not in ("weight", "gain"):
             raise ValueError(f"unknown importance kind {kind!r}")
-        importance = np.zeros(self.n_features_in_, dtype=np.float64)
-        for tree in self.trees_:
-            internal = tree.feature != _LEAF
-            features = tree.feature[internal]
-            if kind == "weight":
-                np.add.at(importance, features, 1.0)
-            else:
-                np.add.at(importance, features, tree.split_gain[internal])
-        return importance
+        internal = [tree.feature != _LEAF for tree in self.trees_]
+        features = [
+            tree.feature[mask] for tree, mask in zip(self.trees_, internal)
+        ]
+        if not any(len(f) for f in features):
+            return np.zeros(self.n_features_in_, dtype=np.float64)
+        all_features = np.concatenate(features)
+        if kind == "weight":
+            weights = None
+        else:
+            weights = np.concatenate(
+                [
+                    tree.split_gain[mask]
+                    for tree, mask in zip(self.trees_, internal)
+                ]
+            )
+        return np.bincount(
+            all_features, weights=weights, minlength=self.n_features_in_
+        ).astype(np.float64)
 
     @property
     def total_node_count(self) -> int:

@@ -119,7 +119,15 @@ class DecisionTreeClassifier(BaseClassifier):
         self.n_features_in_ = X_arr.shape[1]
         self._builder = _TreeBuilder()
         self._total_weight = float(weights.sum())
+        # Each column is argsorted once here; nodes recover their own
+        # sorted order by filtering this root order with a membership
+        # mask (stable ties, so identical to a per-node mergesort).
+        self._sorted_rows = [
+            np.argsort(X_arr[:, j], kind="mergesort")
+            for j in range(X_arr.shape[1])
+        ]
         self._grow(X_arr, y_arr, weights, np.arange(len(y_arr)), depth=0)
+        del self._sorted_rows
         # Freeze into arrays for fast prediction.
         b = self._builder
         self.children_left_ = np.array(b.children_left, dtype=np.int64)
@@ -182,15 +190,14 @@ class DecisionTreeClassifier(BaseClassifier):
         parent_impurity = _weighted_gini(pos_weight, total_weight)
         best: tuple[int, float, float] | None = None
         best_gain = -np.inf
-        y_node = y[idx].astype(np.float64)
-        w_node = w[idx]
-        wy = w_node * y_node
+        in_node = np.zeros(X.shape[0], dtype=bool)
+        in_node[idx] = True
         for feature in range(X.shape[1]):
-            column = X[idx, feature]
-            order = np.argsort(column, kind="mergesort")
-            col_sorted = column[order]
-            w_sorted = w_node[order]
-            wy_sorted = wy[order]
+            root_sorted = self._sorted_rows[feature]
+            node_sorted = root_sorted[in_node[root_sorted]]
+            col_sorted = X[node_sorted, feature]
+            w_sorted = w[node_sorted]
+            wy_sorted = w_sorted * y[node_sorted].astype(np.float64)
             w_cum = np.cumsum(w_sorted)
             wy_cum = np.cumsum(wy_sorted)
             n = len(idx)
@@ -291,8 +298,5 @@ class DecisionTreeClassifier(BaseClassifier):
         measure the paper uses for its Fig. 7.
         """
         self._check_fitted()
-        counts = np.zeros(self.n_features_in_, dtype=np.int64)
-        for feature in self.feature_:
-            if feature != _LEAF:
-                counts[feature] += 1
-        return counts
+        internal = self.feature_[self.feature_ != _LEAF]
+        return np.bincount(internal, minlength=self.n_features_in_)

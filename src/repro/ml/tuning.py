@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ml.model_selection import cross_validate
+from repro.ml.model_selection import _map_ordered, cross_validate
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,14 @@ class GridSearchResult:
     trials: tuple[tuple[dict[str, object], dict[str, float]], ...]
 
 
+def _evaluate_candidate(task) -> dict[str, float]:
+    """CV-score one parameter combination (module-level for pickling)."""
+    model_factory, params, X, y, n_splits, seed = task
+    return cross_validate(
+        lambda: model_factory(**params), X, y, n_splits=n_splits, seed=seed
+    )
+
+
 def grid_search(
     model_factory: Callable[..., object],
     param_grid: Mapping[str, Sequence[object]],
@@ -43,10 +51,16 @@ def grid_search(
     metric: str = "f1",
     n_splits: int = 5,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> GridSearchResult:
     """Exhaustive CV search over *param_grid*.
 
     ``model_factory(**params)`` must return a fresh unfitted classifier.
+    With ``n_workers=N`` the candidate configurations are scored
+    concurrently; every candidate still uses the same integer *seed*
+    (identical folds keep the comparison fair), results are gathered in
+    grid order and ties still resolve to the earliest combination, so
+    the outcome is identical for any worker count.
 
     >>> from repro.ml import GradientBoostingClassifier
     >>> import numpy as np
@@ -65,18 +79,19 @@ def grid_search(
         if len(param_grid[name]) == 0:
             raise ValueError(f"parameter {name!r} has no candidate values")
 
+    candidates = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(param_grid[name] for name in names))
+    ]
+    tasks = [
+        (model_factory, params, X, y, n_splits, seed) for params in candidates
+    ]
+    all_scores = _map_ordered(_evaluate_candidate, tasks, n_workers)
+
     trials: list[tuple[dict[str, object], dict[str, float]]] = []
     best_params: dict[str, object] | None = None
     best_score = -np.inf
-    for combo in itertools.product(*(param_grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        scores = cross_validate(
-            lambda p=params: model_factory(**p),
-            X,
-            y,
-            n_splits=n_splits,
-            seed=seed,
-        )
+    for params, scores in zip(candidates, all_scores):
         if metric not in scores:
             raise ValueError(
                 f"unknown metric {metric!r}; available: {sorted(scores)}"

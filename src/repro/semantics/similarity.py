@@ -21,7 +21,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.semantics.word2vec import Word2Vec
+from repro.semantics.word2vec import Word2Vec, _top_k_filtered
 
 
 def most_similar(
@@ -44,17 +44,11 @@ def most_similar(
     if norm > 0:
         query = query / norm
     scores = normed @ query
-    banned = set(words) | (exclude or set())
-    order = np.argsort(-scores)
-    results: list[tuple[str, float]] = []
-    for idx in order:
-        candidate = model.vocabulary.word(int(idx))
-        if candidate in banned:
-            continue
-        results.append((candidate, float(scores[idx])))
-        if len(results) == k:
-            break
-    return results
+    banned_ids = model._banned_ids(set(words) | (exclude or set()))
+    return [
+        (model.vocabulary.word(idx), score)
+        for idx, score in _top_k_filtered(scores, k, banned_ids)
+    ]
 
 
 def expand_lexicon(
@@ -64,6 +58,7 @@ def expand_lexicon(
     max_size: int = 200,
     min_similarity: float = 0.5,
     max_rounds: int = 20,
+    method: str = "batched",
 ) -> list[str]:
     """Iteratively expand *seeds* into a lexicon via k-NN search.
 
@@ -75,7 +70,17 @@ def expand_lexicon(
     Seed words missing from the model vocabulary are skipped (a warning
     case the caller can detect by checking the result); at least one seed
     must be known.
+
+    ``method="batched"`` (default) scores the whole frontier against
+    the vocabulary in one matmul per round
+    (:meth:`Word2Vec.most_similar_batch`); ``"reference"`` keeps the
+    per-frontier-word queries.  Both produce the same lexicon
+    (property-tested in ``tests/semantics/test_similarity.py``).
     """
+    if method not in ("batched", "reference"):
+        raise ValueError(
+            f"method must be 'batched' or 'reference', got {method!r}"
+        )
     known_seeds = [s for s in seeds if s in model]
     if not known_seeds:
         raise ValueError("no seed word is in the word2vec vocabulary")
@@ -89,11 +94,18 @@ def expand_lexicon(
     for _ in range(max_rounds):
         if len(lexicon) >= max_size or not frontier:
             break
+        if method == "batched":
+            neighbor_lists = model.most_similar_batch(
+                frontier, k=k, exclude=member_set
+            )
+        else:
+            neighbor_lists = [
+                model.most_similar(word, k=k, exclude=member_set)
+                for word in frontier
+            ]
         additions: list[tuple[str, float]] = []
-        for word in frontier:
-            for neighbor, score in model.most_similar(
-                word, k=k, exclude=member_set
-            ):
+        for neighbors in neighbor_lists:
+            for neighbor, score in neighbors:
                 if score >= min_similarity and neighbor not in member_set:
                     additions.append((neighbor, score))
         if not additions:

@@ -25,14 +25,40 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.ml.base import as_rng
+from repro.ml.base import as_rng, stable_sigmoid
 from repro.text.vocabulary import Vocabulary
 
 _NEGATIVE_TABLE_SIZE = 1 << 20
 
 
-def _sigmoid(z: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+def _top_k_filtered(
+    scores: np.ndarray, k: int, banned_ids: set[int]
+) -> list[tuple[int, float]]:
+    """Deterministic top-*k* word ids by (-score, id), skipping banned ids.
+
+    ``np.argpartition`` narrows the field to the ``k + len(banned_ids)``
+    best candidates (banned ids can displace at most ``len(banned_ids)``
+    of them) instead of fully sorting the vocabulary; ties break toward
+    the lower word id so per-word and batched queries agree exactly.
+    """
+    n = len(scores)
+    m = min(n, k + len(banned_ids))
+    if m <= 0 or k <= 0:
+        return []
+    if m < n:
+        candidates = np.argpartition(-scores, m - 1)[:m]
+    else:
+        candidates = np.arange(n)
+    candidates = candidates[np.lexsort((candidates, -scores[candidates]))]
+    results: list[tuple[int, float]] = []
+    for idx in candidates:
+        idx = int(idx)
+        if idx in banned_ids:
+            continue
+        results.append((idx, float(scores[idx])))
+        if len(results) == k:
+            break
+    return results
 
 
 class Word2Vec:
@@ -155,7 +181,54 @@ class Word2Vec:
         keep_prob: np.ndarray,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Generate the (center, context) pairs for one epoch."""
+        """Generate the (center, context) pairs for one epoch.
+
+        Vectorized over every position of a sentence at once; draws the
+        same RNG sequence and emits pairs in the same order as
+        :meth:`_epoch_pairs_reference`, so training is unchanged.
+        """
+        centers: list[np.ndarray] = []
+        contexts: list[np.ndarray] = []
+        for sentence in encoded:
+            ids = np.array(sentence, dtype=np.int64)
+            if self.subsample > 0:
+                keep = rng.random(len(ids)) < keep_prob[ids]
+                ids = ids[keep]
+            n = len(ids)
+            if n < 2:
+                continue
+            spans = rng.integers(1, self.window + 1, size=n)
+            positions = np.arange(n)
+            lo = np.maximum(0, positions - spans)
+            hi = np.minimum(n, positions + spans + 1)
+            counts = hi - lo - 1  # window size minus the center itself
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            # Context index arithmetic: for each center position emit
+            # lo..hi-1 ascending with the center skipped, exactly the
+            # order the per-position loop produced.
+            starts = np.cumsum(counts) - counts
+            offset = np.arange(total) - np.repeat(starts, counts)
+            ctx_idx = np.repeat(lo, counts) + offset
+            ctx_idx += ctx_idx >= np.repeat(positions, counts)
+            centers.append(np.repeat(ids, counts))
+            contexts.append(ids[ctx_idx])
+        if not centers:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        center_arr = np.concatenate(centers)
+        context_arr = np.concatenate(contexts)
+        order = rng.permutation(len(center_arr))
+        return center_arr[order], context_arr[order]
+
+    def _epoch_pairs_reference(
+        self,
+        encoded: list[list[int]],
+        keep_prob: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-position loop implementation kept as the parity reference
+        for :meth:`_epoch_pairs` (bit-identical output, same RNG use)."""
         centers: list[np.ndarray] = []
         contexts: list[np.ndarray] = []
         for sentence in encoded:
@@ -202,8 +275,8 @@ class Word2Vec:
         v_pos = self._output[contexts]  # (b, d)
         v_neg = self._output[negatives]  # (b, k, d)
 
-        pos_score = _sigmoid(np.einsum("bd,bd->b", v_in, v_pos))
-        neg_score = _sigmoid(np.einsum("bd,bkd->bk", v_in, v_neg))
+        pos_score = stable_sigmoid(np.einsum("bd,bd->b", v_in, v_pos))
+        neg_score = stable_sigmoid(np.einsum("bd,bkd->bk", v_in, v_neg))
 
         # Gradients of the NEG objective.
         g_pos = (pos_score - 1.0)[:, None]  # (b, 1)
@@ -279,22 +352,58 @@ class Word2Vec:
             return 0.0
         return float(va @ vb / denom)
 
+    def _banned_ids(self, banned: set[str]) -> set[int]:
+        return {
+            self.vocabulary.word_id(w) for w in banned if w in self.vocabulary
+        }
+
     def most_similar(
         self, word: str, k: int = 10, exclude: set[str] | None = None
     ) -> list[tuple[str, float]]:
-        """Return the *k* nearest vocabulary words by cosine similarity."""
+        """Return the *k* nearest vocabulary words by cosine similarity.
+
+        Top-k selection uses ``np.argpartition`` (O(vocab) instead of a
+        full sort) with ties broken toward the lower word id.
+        """
         self._check_fitted()
         normed = self.normalized_vectors()
         query = normed[self.vocabulary.word_id(word)]
         scores = normed @ query
-        banned = {word} | (exclude or set())
-        order = np.argsort(-scores)
-        results: list[tuple[str, float]] = []
-        for idx in order:
-            candidate = self.vocabulary.word(int(idx))
-            if candidate in banned:
-                continue
-            results.append((candidate, float(scores[idx])))
-            if len(results) == k:
-                break
+        banned_ids = self._banned_ids({word} | (exclude or set()))
+        return [
+            (self.vocabulary.word(idx), score)
+            for idx, score in _top_k_filtered(scores, k, banned_ids)
+        ]
+
+    def most_similar_batch(
+        self,
+        words: Sequence[str],
+        k: int = 10,
+        exclude: set[str] | None = None,
+    ) -> list[list[tuple[str, float]]]:
+        """Per-word k-NN for a whole query frontier in one matmul.
+
+        Equivalent to ``[most_similar(w, k, exclude) for w in words]``
+        but scores every query against the vocabulary in a single
+        ``(vocab, dim) @ (dim, n_words)`` product; used by lexicon
+        expansion where the frontier holds tens of words per round.
+        """
+        self._check_fitted()
+        if len(words) == 0:
+            return []
+        normed = self.normalized_vectors()
+        ids = [self.vocabulary.word_id(w) for w in words]
+        scores = normed @ normed[ids].T  # (vocab, n_words)
+        exclude_ids = self._banned_ids(exclude or set())
+        results: list[list[tuple[str, float]]] = []
+        for column, word_id in enumerate(ids):
+            banned_ids = exclude_ids | {word_id}
+            results.append(
+                [
+                    (self.vocabulary.word(idx), score)
+                    for idx, score in _top_k_filtered(
+                        scores[:, column], k, banned_ids
+                    )
+                ]
+            )
         return results

@@ -121,3 +121,50 @@ class TestGeometry:
     def test_most_similar_scores_sorted(self, trained):
         scores = [s for __, s in trained.most_similar("apple0", k=8)]
         assert scores == sorted(scores, reverse=True)
+
+
+class TestEpochPairsVectorized:
+    """The vectorized pair builder must be bit-identical to the
+    retained per-position reference (same RNG draws, same order)."""
+
+    def _random_corpus(self, seed, n_sentences=40):
+        rng = np.random.default_rng(seed)
+        words = [f"w{i}" for i in range(30)]
+        return [
+            [words[i] for i in rng.integers(0, 30, size=rng.integers(1, 12))]
+            for __ in range(n_sentences)
+        ]
+
+    @pytest.mark.parametrize("window", [1, 2, 5])
+    @pytest.mark.parametrize("subsample", [0.0, 1e-2])
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_matches_reference(self, window, subsample, seed):
+        corpus = self._random_corpus(seed)
+        model = Word2Vec(
+            dim=4, window=window, epochs=1, min_count=1,
+            subsample=subsample, seed=0,
+        )
+        model.fit(corpus)
+        encoded = [
+            s for s in (model.vocabulary.encode(t) for t in corpus)
+            if len(s) >= 2
+        ]
+        keep_prob = (
+            np.full(len(model.vocabulary), 0.8)
+            if subsample > 0
+            else np.ones(len(model.vocabulary))
+        )
+        fast = model._epoch_pairs(
+            encoded, keep_prob, np.random.default_rng(seed)
+        )
+        reference = model._epoch_pairs_reference(
+            encoded, keep_prob, np.random.default_rng(seed)
+        )
+        np.testing.assert_array_equal(fast[0], reference[0])
+        np.testing.assert_array_equal(fast[1], reference[1])
+
+    def test_empty_corpus_shape(self):
+        model = Word2Vec(dim=4, window=2, epochs=1, min_count=1, seed=0)
+        model.fit([["a", "b"]] * 3)
+        fast = model._epoch_pairs([], np.ones(2), np.random.default_rng(0))
+        assert fast[0].shape == (0,) and fast[1].shape == (0,)
