@@ -1,7 +1,7 @@
 # Builder entry points.  `make verify` is the one-command check used
 # before shipping: tier-1 tests + the comment-pipeline, streaming,
-# serving and training smoke benches.  `make serve` trains a toy model
-# on first use and serves it.
+# serving, training and inference smoke benches.  `make serve` trains
+# a toy model on first use and serves it.
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
@@ -9,7 +9,8 @@ export PYTHONPATH
 TOY_MODEL := examples/toy_model
 
 .PHONY: verify test bench-smoke bench-smoke-serving \
-	bench-smoke-pipeline bench-smoke-training bench serve
+	bench-smoke-pipeline bench-smoke-training bench-smoke-inference \
+	bench serve
 
 verify:
 	sh scripts/verify.sh
@@ -28,6 +29,9 @@ bench-smoke-pipeline:
 
 bench-smoke-training:
 	python benchmarks/bench_training.py --quick
+
+bench-smoke-inference:
+	python benchmarks/bench_inference.py --quick
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # One-command builder verification: the tier-1 test suite plus the
-# comment-pipeline, streaming, serving and training smoke benches
-# (which assert the bit-identity and incremental-extraction
+# comment-pipeline, streaming, serving, training and inference smoke
+# benches (which assert the bit-identity and incremental-extraction
 # invariants, not just timings).  Also available as `make verify`.
 set -eu
 
@@ -20,6 +20,9 @@ python benchmarks/bench_serving_throughput.py --quick
 
 echo "==> training stack smoke bench (--quick)"
 python benchmarks/bench_training.py --quick
+
+echo "==> inference engine smoke bench (--quick)"
+python benchmarks/bench_inference.py --quick
 
 echo "==> tier-1 test suite"
 python -m pytest -x -q

@@ -53,6 +53,7 @@ class AdaBoostClassifier(BaseClassifier):
         """Boost weak trees on ``(X, y)``."""
         X_arr, y_arr = check_X_y(X, y)
         self.n_features_in_ = X_arr.shape[1]
+        self._packed = None
         n = len(y_arr)
         weights = np.full(n, 1.0 / n, dtype=np.float64)
         signs = np.where(y_arr == 1, 1.0, -1.0)
@@ -89,8 +90,36 @@ class AdaBoostClassifier(BaseClassifier):
             weights /= weights.sum()
         return self
 
+    def _packed_ensemble(self):
+        """Lazily built packed arena over the weak learners (see
+        :mod:`repro.ml.inference`); ``fit`` invalidates it."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            from repro.ml.inference import PackedEnsemble
+
+            packed = PackedEnsemble.from_adaboost(self)
+            self._packed = packed
+        return packed
+
     def decision_function(self, X) -> np.ndarray:
-        """Weighted-vote margin in sign space, normalized to [-1, 1]."""
+        """Weighted-vote margin in sign space, normalized to [-1, 1].
+
+        All weak learners are traversed simultaneously through the
+        packed arena (leaf values are the vote signs, per-tree scales
+        the stage weights), bitwise identical to
+        :meth:`decision_function_reference`.
+        """
+        X_arr = check_array(X)
+        self._check_n_features(X_arr)
+        total = self._packed_ensemble().margins(X_arr)
+        weight_sum = float(sum(self.estimator_weights_))
+        if weight_sum > 0:
+            total /= weight_sum
+        return total
+
+    def decision_function_reference(self, X) -> np.ndarray:
+        """Per-stump voting loop, kept as the packed path's bit-identity
+        reference."""
         X_arr = check_array(X)
         self._check_n_features(X_arr)
         total = np.zeros(X_arr.shape[0], dtype=np.float64)

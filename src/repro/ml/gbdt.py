@@ -22,6 +22,16 @@ implements the algorithm of Chen & Guestrin (KDD'16) from scratch:
     tree root; nodes recover their sorted order by filtering the root
     order with a membership mask instead of re-slicing and re-sorting.
 
+Scoring goes through the packed-arena engine of
+:mod:`repro.ml.inference`: ``decision_function`` lazily freezes the
+fitted trees into one contiguous node arena and traverses them all
+simultaneously, with opt-in ``chunk_size`` / ``n_workers`` batch
+scoring; ``decision_function_reference`` keeps the per-tree loop as
+the bit-identity oracle.  During ``fit`` the margin update reuses the
+leaf assignment recorded while each tree was grown (a gather instead
+of a re-traversal; rows left out by ``subsample`` still take
+``tree.predict``).
+
 Feature importance is exposed both as split counts (the "weight"
 importance the paper plots in its Fig. 7: "the times this feature is
 split during the construction process") and as accumulated gain.
@@ -171,8 +181,15 @@ class _BoostTreeBuilder:
 
     def build(
         self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray, rows: np.ndarray
-    ) -> _BoostTree:
-        """Grow one tree on the given rows' gradient statistics."""
+    ) -> tuple[_BoostTree, np.ndarray]:
+        """Grow one tree on the given rows' gradient statistics.
+
+        Returns the frozen tree and the per-row leaf assignment: for
+        every row in *rows*, the id of the leaf it landed in (other
+        positions are zero).  The boosting loop updates the margin by
+        gathering leaf weights through this map instead of re-traversing
+        X.
+        """
         columns = _sample_columns(self.rng, X.shape[1], self.colsample)
         # Root-level sort cache: rows ordered by each column's value.
         # Stable (mergesort) ties resolve by ascending original index,
@@ -184,8 +201,9 @@ class _BoostTreeBuilder:
             for feature in columns
         }
         self._n_total = X.shape[0]
+        self._leaf_of = np.zeros(X.shape[0], dtype=np.intp)
         self._grow(X, grad, hess, rows, columns, depth=0)
-        return self.arrays.freeze()
+        return self.arrays.freeze(), self._leaf_of
 
     def _grow(
         self,
@@ -200,6 +218,9 @@ class _BoostTreeBuilder:
         h_sum = float(hess[rows].sum())
         weight = -g_sum / (h_sum + self.reg_lambda)
         node_id = self.arrays.add_node(weight)
+        # Record the deepest node seen per row; descendants overwrite
+        # their subset, so after the recursion this holds the leaf ids.
+        self._leaf_of[rows] = node_id
         if depth >= self.max_depth or h_sum < 2.0 * self.min_child_weight:
             return node_id
         split = self._best_split(X, grad, hess, rows, columns, g_sum, h_sum)
@@ -341,12 +362,18 @@ class _HistTreeBuilder:
 
     def build(
         self, grad: np.ndarray, hess: np.ndarray, rows: np.ndarray
-    ) -> _BoostTree:
+    ) -> tuple[_BoostTree, np.ndarray]:
+        """Grow one tree; returns it with the per-row leaf assignment
+        (see :meth:`_BoostTreeBuilder.build`).  The code partition
+        ``codes <= cut`` is equivalent to ``X <= split_points[cut]``
+        (searchsorted ``side="left"``), so the recorded leaves match a
+        predict-time traversal of the raw matrix exactly."""
         self._set_columns(
             _sample_columns(self.rng, self.codes.shape[1], self.colsample)
         )
+        self._leaf_of = np.zeros(self.codes.shape[0], dtype=np.intp)
         self._grow(grad, hess, rows, hist=None, depth=0)
-        return self.arrays.freeze()
+        return self.arrays.freeze(), self._leaf_of
 
     def _set_columns(self, columns: np.ndarray) -> None:
         """Lay out this tree's histogram: per-column bin offsets and the
@@ -394,6 +421,7 @@ class _HistTreeBuilder:
         h_sum = float(hess[rows].sum())
         weight = -g_sum / (h_sum + self.reg_lambda)
         node_id = self.arrays.add_node(weight)
+        self._leaf_of[rows] = node_id
         if depth >= self.max_depth or h_sum < 2.0 * self.min_child_weight:
             return node_id
         if hist is None:
@@ -558,6 +586,17 @@ class GradientBoostingClassifier(BaseClassifier):
 
         margin = np.full(n, self.base_margin_, dtype=np.float64)
         self.trees_: list[_BoostTree] = []
+        self._packed = None
+        # With every row in the tree, the builder's recorded leaf
+        # assignment replaces the margin-update re-traversal of X: one
+        # leaf-weight gather per round, bit-identical to tree.predict
+        # (builders partition on the same `x <= threshold` predicate).
+        # Subsampled rounds still re-traverse, since out-of-sample rows
+        # have no recorded leaf.  `_margin_via_gather` exists for the
+        # equivalence regression test.
+        use_gather = self.subsample >= 1.0 and getattr(
+            self, "_margin_via_gather", True
+        )
         for _ in range(self.n_estimators):
             prob = stable_sigmoid(margin)
             grad = prob - y_float
@@ -568,7 +607,7 @@ class GradientBoostingClassifier(BaseClassifier):
             else:
                 rows = np.arange(n)
             if self.tree_method == "hist":
-                tree = _HistTreeBuilder(
+                tree, leaf_of = _HistTreeBuilder(
                     codes=codes,
                     split_points=split_points,
                     max_depth=self.max_depth,
@@ -579,7 +618,7 @@ class GradientBoostingClassifier(BaseClassifier):
                     rng=rng,
                 ).build(grad, hess, rows)
             else:
-                tree = _BoostTreeBuilder(
+                tree, leaf_of = _BoostTreeBuilder(
                     max_depth=self.max_depth,
                     min_child_weight=self.min_child_weight,
                     reg_lambda=self.reg_lambda,
@@ -587,12 +626,49 @@ class GradientBoostingClassifier(BaseClassifier):
                     colsample=self.colsample,
                     rng=rng,
                 ).build(X_arr, grad, hess, rows)
-            margin += self.learning_rate * tree.predict(X_arr)
+            if use_gather:
+                margin += self.learning_rate * tree.leaf_weight[leaf_of]
+            else:
+                margin += self.learning_rate * tree.predict(X_arr)
             self.trees_.append(tree)
         return self
 
-    def decision_function(self, X) -> np.ndarray:
-        """Return the raw boosted margin (log-odds) per sample."""
+    def _packed_ensemble(self):
+        """Lazily built packed arena over ``trees_`` (see
+        :mod:`repro.ml.inference`); ``fit`` invalidates it.  Models
+        restored by :mod:`repro.core.persistence` build it on first
+        use."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            from repro.ml.inference import PackedEnsemble
+
+            packed = PackedEnsemble.from_gbdt(self)
+            self._packed = packed
+        return packed
+
+    def decision_function(
+        self,
+        X,
+        chunk_size: int | None = None,
+        n_workers: int | None = None,
+    ) -> np.ndarray:
+        """Return the raw boosted margin (log-odds) per sample.
+
+        Scoring runs through the packed-ensemble arena (all trees
+        traversed simultaneously), bitwise identical to
+        :meth:`decision_function_reference`.  ``chunk_size`` bounds the
+        scoring working set and ``n_workers`` scores chunks
+        concurrently; the margins are identical for any combination.
+        """
+        X_arr = check_array(X)
+        self._check_n_features(X_arr)
+        return self._packed_ensemble().margins(
+            X_arr, chunk_size=chunk_size, n_workers=n_workers
+        )
+
+    def decision_function_reference(self, X) -> np.ndarray:
+        """Per-tree scoring loop, kept as the packed path's bit-identity
+        reference (and for benchmarking the packed speedup)."""
         X_arr = check_array(X)
         self._check_n_features(X_arr)
         margin = np.full(X_arr.shape[0], self.base_margin_, dtype=np.float64)
@@ -600,9 +676,18 @@ class GradientBoostingClassifier(BaseClassifier):
             margin += self.learning_rate * tree.predict(X_arr)
         return margin
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(
+        self,
+        X,
+        chunk_size: int | None = None,
+        n_workers: int | None = None,
+    ) -> np.ndarray:
         """Return ``(n, 2)`` class probabilities via the logistic link."""
-        prob_pos = stable_sigmoid(self.decision_function(X))
+        prob_pos = stable_sigmoid(
+            self.decision_function(
+                X, chunk_size=chunk_size, n_workers=n_workers
+            )
+        )
         return np.column_stack([1.0 - prob_pos, prob_pos])
 
     # -- importance ---------------------------------------------------------

@@ -40,7 +40,11 @@ class StandardScaler:
             raise ValueError(
                 f"expected {self.n_features_in_} features, got {arr.shape[1]}"
             )
-        return (arr - self.mean_) / self.scale_
+        # Subtract into one fresh array and divide in place: same values
+        # as `(arr - mean) / scale` without the second temporary.
+        out = arr - self.mean_
+        out /= self.scale_
+        return out
 
     def fit_transform(self, X) -> np.ndarray:
         """Fit and transform in one call."""

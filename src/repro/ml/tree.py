@@ -136,6 +136,7 @@ class DecisionTreeClassifier(BaseClassifier):
         self.threshold_ = np.array(b.threshold, dtype=np.float64)
         self.value_ = np.array(b.value, dtype=np.float64)
         self.n_node_samples_ = np.array(b.n_node_samples, dtype=np.int64)
+        self._packed = None
         return self
 
     def _grow(
@@ -240,8 +241,23 @@ class DecisionTreeClassifier(BaseClassifier):
 
     # -- prediction ------------------------------------------------------
 
+    def _packed_ensemble(self):
+        """Lazily built packed arena over the tree arrays (see
+        :mod:`repro.ml.inference`); ``fit`` invalidates it."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            from repro.ml.inference import PackedEnsemble
+
+            packed = PackedEnsemble.from_tree(self)
+            self._packed = packed
+        return packed
+
     def _leaf_values(self, X: np.ndarray) -> np.ndarray:
-        """Return P(fraud) at the leaf reached by each row of X."""
+        """Return P(fraud) at the leaf reached by each row of X.
+
+        Masked per-level traversal, kept as the bit-identity reference
+        for the packed scoring path used by :meth:`predict_proba`.
+        """
         self._check_n_features(X)
         n = X.shape[0]
         node = np.zeros(n, dtype=np.int64)
@@ -262,9 +278,14 @@ class DecisionTreeClassifier(BaseClassifier):
         return self.value_[node]
 
     def predict_proba(self, X) -> np.ndarray:
-        """Return ``(n, 2)`` class probabilities from leaf frequencies."""
+        """Return ``(n, 2)`` class probabilities from leaf frequencies.
+
+        Scored through the packed arena, bitwise identical to
+        :meth:`_leaf_values`.
+        """
         X_arr = check_array(X)
-        prob_pos = self._leaf_values(X_arr)
+        self._check_n_features(X_arr)
+        prob_pos = self._packed_ensemble().margins(X_arr)
         return np.column_stack([1.0 - prob_pos, prob_pos])
 
     # -- introspection -----------------------------------------------------

@@ -88,6 +88,8 @@ class DetectionService:
         checkpoint_dir: str | None = None,
         checkpoint_every: int | None = None,
         checkpoint_keep: int = 3,
+        score_chunk_size: int | None = None,
+        score_workers: int | None = None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -113,6 +115,8 @@ class DetectionService:
                 state, path = loaded
                 self.stream.restore_state(state)
                 self.restored_from = str(path)
+        self.score_chunk_size = score_chunk_size
+        self.score_workers = score_workers
         self._last_checkpoint_observed = self.stream.n_observed
         self.n_checkpoints_written = 0
         self.n_checkpoint_failures = 0
@@ -226,6 +230,9 @@ class DetectionService:
                 "checkpoint_failures": self.n_checkpoint_failures,
             }
         )
+        # Packed-predictor activity: confirms scoring goes through the
+        # single-arena engine (repro.ml.inference), not a fallback.
+        stats.update(self.cats.detector.packed_scoring_stats())
         cache_info = self.cats.feature_extractor.cache_info()
         if cache_info is not None:
             stats.update(
@@ -306,7 +313,11 @@ class DetectionService:
         if not valid:
             return
         try:
-            results = stream.force_rescore_many(wanted)
+            results = stream.force_rescore_many(
+                wanted,
+                chunk_size=self.score_chunk_size,
+                n_workers=self.score_workers,
+            )
         except BaseException as exc:  # noqa: BLE001 - fail the batch only
             for request in valid:
                 request.future.set_exception(exc)

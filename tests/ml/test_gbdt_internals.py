@@ -54,7 +54,7 @@ class TestBuilder:
         X = np.zeros((4, 1))
         grad = np.array([1.0, 1.0, -1.0, 3.0])  # G = 4
         hess = np.array([0.5, 0.5, 0.5, 0.5])  # H = 2
-        tree = builder.build(X, grad, hess, np.arange(4))
+        tree, _ = builder.build(X, grad, hess, np.arange(4))
         assert tree.leaf_weight[0] == pytest.approx(-4.0 / (2.0 + 2.0))
 
     def test_split_reduces_loss(self):
@@ -63,7 +63,7 @@ class TestBuilder:
         X = np.array([[0.0], [0.1], [0.9], [1.0]])
         grad = np.array([1.0, 1.0, -1.0, -1.0])
         hess = np.full(4, 0.25)
-        tree = builder.build(X, grad, hess, np.arange(4))
+        tree, _ = builder.build(X, grad, hess, np.arange(4))
         assert (tree.feature != -1).sum() == 1
         internal = int(np.flatnonzero(tree.feature != -1)[0])
         assert 0.1 < tree.threshold[internal] < 0.9
@@ -76,10 +76,10 @@ class TestBuilder:
         X = np.array([[0.0], [1.0]])
         grad = np.array([0.01, -0.01])
         hess = np.full(2, 0.25)
-        greedy = make_builder(max_depth=1, gamma=0.0).build(
+        greedy, _ = make_builder(max_depth=1, gamma=0.0).build(
             X, grad, hess, np.arange(2)
         )
-        blocked = make_builder(max_depth=1, gamma=10.0).build(
+        blocked, _ = make_builder(max_depth=1, gamma=10.0).build(
             X, grad, hess, np.arange(2)
         )
         assert (greedy.feature != -1).sum() >= (blocked.feature != -1).sum()
@@ -89,7 +89,7 @@ class TestBuilder:
         X = np.array([[0.0], [1.0]])
         grad = np.array([1.0, -1.0])
         hess = np.full(2, 0.1)  # each child H = 0.1 < 0.5
-        tree = make_builder(max_depth=1, min_child_weight=0.5).build(
+        tree, _ = make_builder(max_depth=1, min_child_weight=0.5).build(
             X, grad, hess, np.arange(2)
         )
         assert (tree.feature != -1).sum() == 0
@@ -102,7 +102,7 @@ class TestBuilder:
         builder = make_builder(
             max_depth=2, colsample=0.2, rng=np.random.default_rng(5)
         )
-        tree = builder.build(X, grad, hess, np.arange(200))
+        tree, _ = builder.build(X, grad, hess, np.arange(200))
         used = set(tree.feature[tree.feature != -1].tolist())
         assert len(used) <= 2  # 20% of 10 features
 

@@ -63,6 +63,15 @@ class TestBasics:
         assert stats["processed"] >= 1
         assert stats["items_tracked"] >= 1
 
+    def test_packed_predictor_engaged(self, service, feed, feed_item_ids):
+        """Smoke test that serving scores run through the packed
+        inference arena, not a per-tree fallback (counters in /stats)."""
+        service.ingest(feed)
+        service.score(feed_item_ids[:5])
+        stats = service.stats()
+        assert stats["packed_predict_calls"] >= 1
+        assert stats["packed_rows_scored"] >= 5
+
     def test_stopped_service_reports_and_rejects(self, trained_cats):
         svc = DetectionService(trained_cats).start()
         svc.stop()
