@@ -10,7 +10,7 @@ TOY_MODEL := examples/toy_model
 
 .PHONY: verify test bench-smoke bench-smoke-serving \
 	bench-smoke-pipeline bench-smoke-training bench-smoke-inference \
-	bench serve
+	bench-smoke-cluster bench serve serve-cluster
 
 verify:
 	sh scripts/verify.sh
@@ -33,6 +33,9 @@ bench-smoke-training:
 bench-smoke-inference:
 	python benchmarks/bench_inference.py --quick
 
+bench-smoke-cluster:
+	python benchmarks/bench_cluster.py --quick
+
 bench:
 	python -m pytest benchmarks/ --benchmark-only
 
@@ -42,3 +45,8 @@ $(TOY_MODEL)/manifest.json:
 serve: $(TOY_MODEL)/manifest.json
 	python -m repro.cli serve $(TOY_MODEL) \
 		--checkpoint-dir $(TOY_MODEL)/checkpoints --checkpoint-every 500
+
+serve-cluster: $(TOY_MODEL)/manifest.json
+	python -m repro.cli serve $(TOY_MODEL) --shards 4 \
+		--checkpoint-dir $(TOY_MODEL)/cluster-checkpoints \
+		--checkpoint-every 500

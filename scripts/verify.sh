@@ -18,6 +18,9 @@ python benchmarks/bench_streaming_throughput.py --quick
 echo "==> serving throughput smoke bench (--quick)"
 python benchmarks/bench_serving_throughput.py --quick
 
+echo "==> cluster serving smoke bench (--quick)"
+python benchmarks/bench_cluster.py --quick
+
 echo "==> training stack smoke bench (--quick)"
 python benchmarks/bench_training.py --quick
 

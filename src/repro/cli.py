@@ -29,6 +29,7 @@ import argparse
 import json
 import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.core.persistence import load_cats, save_cats
@@ -156,6 +157,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import DetectionService, make_server
 
+    if args.shards > 1:
+        return _cmd_serve_cluster(args)
+    shard = None
+    if args.shard_count > 1:
+        shard = (args.shard_index, args.shard_count)
     cats = load_cats(args.model_dir)
     service = DetectionService(
         cats,
@@ -167,6 +173,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        shard=shard,
     )
     if service.restored_from:
         print(
@@ -203,6 +210,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.stop(drain=True)
     print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.serving.cluster import ShardCluster
+
+    # Tuning flags are forwarded verbatim so every shard worker runs
+    # the same micro-batching configuration as a single-process serve.
+    worker_args = (
+        "--checkpoint-every", str(args.checkpoint_every),
+        "--max-batch", str(args.max_batch),
+        "--max-delay-ms", str(args.max_delay_ms),
+        "--queue-depth", str(args.queue_depth),
+        "--rescore-growth", str(args.rescore_growth),
+        "--min-comments", str(args.min_comments),
+    )
+    if args.max_tracked_items is not None:
+        worker_args += ("--max-tracked-items", str(args.max_tracked_items))
+    cluster = ShardCluster(
+        args.model_dir,
+        args.shards,
+        host=args.host,
+        port=args.port,
+        checkpoint_root=args.checkpoint_dir,
+        worker_args=worker_args,
+        verbose=args.verbose,
+    )
+    print(
+        f"starting {args.shards} shard workers ...", file=sys.stderr
+    )
+    cluster.start()
+    print(
+        json.dumps(
+            {
+                "serving": True,
+                "host": cluster.host,
+                "port": cluster.port,
+                "shards": args.shards,
+            }
+        ),
+        flush=True,
+    )
+    print(
+        f"cluster router on {cluster.url} "
+        f"({args.shards} shards: "
+        + ", ".join(f"#{w.shard_index}:{w.port}" for w in cluster.workers)
+        + ")",
+        file=sys.stderr,
+    )
+
+    stop_event = threading.Event()
+
+    def _shutdown(signum, frame) -> None:
+        print("shutting down cluster ...", file=sys.stderr)
+        stop_event.set()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        stop_event.wait()
+    finally:
+        cluster.stop()
+    print("cluster stopped", file=sys.stderr)
     return 0
 
 
@@ -316,6 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--min-comments", type=int, default=3,
         help="do not score items with fewer buffered comments",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="run a shared-nothing cluster of this many shard worker "
+        "processes behind a routing front end (0/1 = single process)",
+    )
+    # Internal: identify one worker of a sharded cluster.  Set by the
+    # cluster launcher, not by hand -- the service stamps checkpoints
+    # with the partition and rejects records it does not own.
+    serve.add_argument(
+        "--shard-index", type=int, default=0, help=argparse.SUPPRESS
+    )
+    serve.add_argument(
+        "--shard-count", type=int, default=1, help=argparse.SUPPRESS
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

@@ -85,6 +85,19 @@ from repro.core.system import CATS
 STATE_VERSION = 1
 
 
+def shard_of(item_id: int, n_shards: int) -> int:
+    """Stable partition of *item_id* across ``n_shards`` shard workers.
+
+    ``hash`` of an int is the int itself (``PYTHONHASHSEED`` only
+    perturbs str/bytes hashing), so the mapping is identical across
+    processes, restarts and machines -- a requirement for checkpoints
+    to stay valid and for replays to route records to the same shard.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return hash(int(item_id)) % n_shards
+
+
 @dataclass(frozen=True)
 class Alert:
     """One item crossing the reporting threshold."""
@@ -466,7 +479,7 @@ class StreamingDetector:
 
     # -- state export / restore ---------------------------------------------
 
-    def export_state(self) -> dict:
+    def export_state(self, shard: tuple[int, int] | None = None) -> dict:
         """Snapshot the full streaming state as plain Python data.
 
         The structure is JSON-compatible (Python floats round-trip
@@ -474,6 +487,12 @@ class StreamingDetector:
         first, and sufficient for :meth:`restore_state` to rebuild a
         detector whose every subsequent score and alert is identical to
         this one's.
+
+        ``shard`` -- an ``(index, count)`` pair -- stamps the snapshot
+        with the partition it belongs to, so a sharded deployment
+        cannot silently restore another shard's checkpoint (or a
+        checkpoint taken under a different shard count, which would
+        misroute every item whose hash moved).
         """
         items = []
         for item_id, state in self._items.items():
@@ -490,7 +509,7 @@ class StreamingDetector:
                     "accumulator": _accumulator_to_state(state.accumulator),
                 }
             )
-        return {
+        state = {
             "state_version": STATE_VERSION,
             "config": {
                 "rescore_growth": self.rescore_growth,
@@ -504,19 +523,58 @@ class StreamingDetector:
             "alerts": [dataclasses.asdict(a) for a in self._alerts],
             "items": items,
         }
+        if shard is not None:
+            index, count = shard
+            state["shard"] = {
+                "shard_index": int(index),
+                "shard_count": int(count),
+            }
+        return state
 
-    def restore_state(self, data: dict) -> None:
+    def restore_state(
+        self,
+        data: dict,
+        expected_shard: tuple[int, int] | None = None,
+    ) -> None:
         """Load a snapshot produced by :meth:`export_state`.
 
         Replaces any existing state.  The snapshot's policy settings
         (growth factor, floors, bound) override the constructor's, so a
         restored detector resumes under the checkpointed policy.
+
+        ``expected_shard`` -- the restoring worker's ``(index, count)``
+        -- rejects snapshots stamped for a different partition.  An
+        unstamped (pre-sharding) snapshot is accepted only when every
+        item in it actually routes to the expected shard.
         """
         if data.get("state_version") != STATE_VERSION:
             raise ValueError(
                 f"unsupported streaming state version "
                 f"{data.get('state_version')!r}"
             )
+        if expected_shard is not None:
+            recorded = data.get("shard")
+            if recorded is not None:
+                stamp = (
+                    int(recorded["shard_index"]),
+                    int(recorded["shard_count"]),
+                )
+                if stamp != (int(expected_shard[0]), int(expected_shard[1])):
+                    raise ValueError(
+                        f"snapshot belongs to shard {stamp[0]}/{stamp[1]}, "
+                        f"cannot restore into shard "
+                        f"{expected_shard[0]}/{expected_shard[1]}"
+                    )
+            else:
+                index, count = int(expected_shard[0]), int(expected_shard[1])
+                for entry in data["items"]:
+                    item_id = int(entry["item_id"])
+                    if shard_of(item_id, count) != index:
+                        raise ValueError(
+                            f"unsharded snapshot contains item {item_id} "
+                            f"which routes to shard "
+                            f"{shard_of(item_id, count)}, not {index}"
+                        )
         config = data["config"]
         self.rescore_growth = float(config["rescore_growth"])
         self.min_comments_to_score = int(config["min_comments_to_score"])

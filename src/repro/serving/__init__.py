@@ -16,7 +16,13 @@ long-running scoring service (the paper's Section VI deployment regime):
   restarts bit-identical from its last checkpoint;
 * :mod:`repro.serving.httpd` -- a stdlib-only HTTP front end with
   ``/score``, ``/ingest``, ``/alerts``, ``/healthz`` and ``/stats``
-  endpoints, wired into the CLI as ``cats serve``.
+  endpoints, wired into the CLI as ``cats serve``;
+* :mod:`repro.serving.telemetry` -- counter/gauge registry whose
+  snapshots merge across processes (the cluster's observability
+  substrate);
+* :mod:`repro.serving.cluster` -- shared-nothing multi-process
+  sharding: per-shard worker subprocesses, a routing front end, and
+  per-shard checkpoint lineages (``cats serve --shards N``).
 """
 
 from repro.serving.batching import (
@@ -25,8 +31,14 @@ from repro.serving.batching import (
     QueueFullError,
 )
 from repro.serving.checkpoint import CheckpointError, CheckpointManager
+from repro.serving.cluster import (
+    ShardCluster,
+    ShardUnavailableError,
+    ShardWorker,
+)
 from repro.serving.httpd import DetectionHTTPServer, make_server
 from repro.serving.service import DetectionService, IngestResult
+from repro.serving.telemetry import TelemetryRegistry
 
 __all__ = [
     "BatcherStopped",
@@ -37,5 +49,9 @@ __all__ = [
     "IngestResult",
     "MicroBatcher",
     "QueueFullError",
+    "ShardCluster",
+    "ShardUnavailableError",
+    "ShardWorker",
+    "TelemetryRegistry",
     "make_server",
 ]

@@ -35,10 +35,17 @@ already accepted, then joins it; new submits fail with
 abandons queued requests by failing their futures with
 :class:`BatcherStopped`, so no caller is ever left waiting on a result
 that cannot come.
+
+``stop(timeout=...)`` returns ``False`` when the join timed out with
+the scheduler still alive.  A non-clean stop leaves the thread handle
+in place -- the single-writer invariant depends on never starting a
+second scheduler while the first one is still draining, so ``start``
+refuses to run again until the old scheduler has actually exited.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -129,22 +136,43 @@ class MicroBatcher:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Start the scheduler thread (idempotent)."""
+        """Start the scheduler thread (idempotent while one is running).
+
+        Raises :class:`RuntimeError` after a timed-out :meth:`stop`
+        whose scheduler is still draining -- starting a second
+        scheduler there would put two writers on the same processor.
+        """
         with self._lock:
             if self._thread is not None:
-                return
+                if self._thread.is_alive():
+                    if self._stopping:
+                        raise RuntimeError(
+                            "previous scheduler is still draining after a "
+                            "timed-out stop(); wait for it to exit before "
+                            "restarting"
+                        )
+                    return
+                # A previously timed-out stop whose scheduler has since
+                # finished: clear the stale handle and start fresh.
+                self._thread = None
             self._stopping = False
             self._thread = threading.Thread(
                 target=self._run, name="micro-batcher", daemon=True
             )
             self._thread.start()
 
-    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+    def stop(self, drain: bool = True, timeout: float | None = None) -> bool:
         """Stop accepting work and shut the scheduler down.
 
         With ``drain`` the scheduler first flushes every accepted
         request; without it, queued requests fail with
         :class:`BatcherStopped` immediately.
+
+        Returns ``True`` for a clean stop (scheduler exited).  With a
+        ``timeout``, returns ``False`` when the scheduler is still
+        alive after the join -- the stop is *not* clean, and the
+        batcher refuses to :meth:`start` again until the scheduler
+        actually exits.
         """
         with self._lock:
             thread = self._thread
@@ -161,14 +189,22 @@ class MicroBatcher:
             )
         if thread is not None:
             thread.join(timeout=timeout)
+            if thread.is_alive():
+                return False
             with self._lock:
-                self._thread = None
+                if self._thread is thread:
+                    self._thread = None
+        return True
 
     @property
     def running(self) -> bool:
         """True while the scheduler thread accepts and processes work."""
         with self._lock:
-            return self._thread is not None and not self._stopping
+            return (
+                self._thread is not None
+                and self._thread.is_alive()
+                and not self._stopping
+            )
 
     # -- submission ----------------------------------------------------------
 
@@ -249,7 +285,13 @@ class MicroBatcher:
     # -- stats ---------------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Counters plus batch-latency percentiles (milliseconds)."""
+        """Counters plus batch-latency percentiles (milliseconds).
+
+        Percentiles use the nearest-rank definition (ceil(q*n)-th
+        smallest sample), so ``p99`` over a small window reports a
+        sample at or above the requested quantile instead of flooring
+        down to ~p96.
+        """
         with self._lock:
             latencies = sorted(self._batch_latencies)
             sizes = list(self._batch_sizes)
@@ -264,9 +306,8 @@ class MicroBatcher:
             }
         if latencies:
             def pct(q: float) -> float:
-                index = min(
-                    len(latencies) - 1, int(q * (len(latencies) - 1))
-                )
+                rank = math.ceil(q * len(latencies))
+                index = min(len(latencies) - 1, max(0, rank - 1))
                 return latencies[index] * 1000.0
 
             snapshot["batch_latency_p50_ms"] = round(pct(0.50), 3)

@@ -30,10 +30,20 @@ Failure semantics
 * queue full -> ``503`` with ``Retry-After`` (explicit load shedding);
 * service stopping -> ``503``;
 * unknown item in ``/score`` -> ``404``;
-* malformed body -> ``400``;
+* malformed body -> ``400`` -- always a response, never a dropped
+  connection (``TypeError`` from non-coercible values is part of the
+  400 mapping);
+* acknowledgements are atomic: an ``/ingest`` request's comments and
+  sales updates travel as ONE queue entry, so a ``503`` means nothing
+  was applied and a ``200`` means everything was;
 * the response is only sent after the request's batch was processed,
   so a ``200`` ingest acknowledgement means the records are in the
   detector's state (and covered by the next checkpoint).
+
+Every request increments the server's
+:class:`~repro.serving.telemetry.TelemetryRegistry` (requests per
+endpoint, responses per status class), surfaced under ``"telemetry"``
+in ``/stats`` and merged across shards by the cluster router.
 """
 
 from __future__ import annotations
@@ -46,9 +56,16 @@ from typing import Any
 from repro.collector.records import CommentRecord, RecordParseError
 from repro.serving.batching import BatcherStopped, QueueFullError
 from repro.serving.service import DetectionService
+from repro.serving.telemetry import TelemetryRegistry
 
 #: Handler threads give the scheduler this long before answering 504.
 RESPONSE_TIMEOUT_S = 30.0
+
+#: Known endpoint paths; anything else is counted as ``other`` so
+#: arbitrary request paths cannot grow the telemetry registry.
+_KNOWN_PATHS = frozenset(
+    {"/healthz", "/stats", "/alerts", "/ingest", "/score"}
+)
 
 #: ``asdict(CommentRecord)`` keys -> Listing-2 row keys, so both row
 #: shapes funnel through the same validated ``from_row`` parser.
@@ -67,6 +84,36 @@ def parse_comment_row(row: Any) -> CommentRecord:
     return CommentRecord.from_row(mapped)
 
 
+def parse_sales_row(row: Any) -> tuple[int, int]:
+    """Validate one ``[item_id, volume]`` sales row.
+
+    Rejects rows of the wrong shape (``[1]``, ``7``, ``null``) and
+    non-coercible values (``[null, 5]``) with :class:`ValueError`, so
+    the front end maps them to a 400 instead of crashing mid-request.
+    """
+    if isinstance(row, (str, bytes)) or not hasattr(row, "__iter__"):
+        raise ValueError(
+            f"sales row must be [item_id, volume], got {row!r}"
+        )
+    try:
+        item_id, volume = row
+        return int(item_id), int(volume)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"sales row must be [item_id, volume], got {row!r}"
+        ) from exc
+
+
+def parse_item_ids(value: Any) -> list[int]:
+    """Validate a ``/score`` item-id list (coercing ids to int)."""
+    if not isinstance(value, list):
+        raise ValueError(f'"item_ids" must be a list, got {value!r}')
+    try:
+        return [int(item_id) for item_id in value]
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"item ids must be integers: {exc}") from exc
+
+
 class DetectionHTTPServer(ThreadingHTTPServer):
     """Threading HTTP server bound to one :class:`DetectionService`."""
 
@@ -81,6 +128,7 @@ class DetectionHTTPServer(ThreadingHTTPServer):
         super().__init__(address, DetectionRequestHandler)
         self.service = service
         self.verbose = verbose
+        self.telemetry = TelemetryRegistry()
 
 
 class DetectionRequestHandler(BaseHTTPRequestHandler):
@@ -100,6 +148,7 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         payload: dict[str, Any],
         headers: dict[str, str] | None = None,
     ) -> None:
+        self.server.telemetry.inc(f"http_responses_{status // 100}xx")
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -117,14 +166,23 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------------
 
+    def _count_request(self) -> None:
+        endpoint = (
+            self.path.lstrip("/") if self.path in _KNOWN_PATHS else "other"
+        )
+        self.server.telemetry.inc(f"http_requests_{endpoint}")
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
         service = self.server.service
+        self._count_request()
         if self.path == "/healthz":
             health = service.healthz()
             status = 200 if health["status"] == "ok" else 503
             self._send_json(status, health)
         elif self.path == "/stats":
-            self._send_json(200, service.stats())
+            stats = service.stats()
+            stats["telemetry"] = self.server.telemetry.snapshot()
+            self._send_json(200, stats)
         elif self.path == "/alerts":
             alerts = [dataclasses.asdict(a) for a in service.alerts()]
             self._send_json(200, {"count": len(alerts), "alerts": alerts})
@@ -132,6 +190,7 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        self._count_request()
         try:
             body = self._read_json_body()
             if self.path == "/ingest":
@@ -140,9 +199,12 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
                 self._handle_score(body)
             else:
                 self._send_json(404, {"error": f"unknown path {self.path}"})
-        except (ValueError, RecordParseError, KeyError) as exc:
+        except (TypeError, ValueError, RecordParseError, KeyError) as exc:
             # KeyError here is a malformed body (missing field), not an
             # unknown item -- those are mapped inside the handlers.
+            # TypeError covers non-coercible values (null item ids,
+            # scalar sales rows): still a client error, still a
+            # response -- never a dropped connection.
             self._send_json(400, {"error": str(exc)})
         except QueueFullError as exc:
             self._send_json(
@@ -154,30 +216,31 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
             self._send_json(504, {"error": "batch processing timed out"})
 
     def _handle_ingest(self, body: Any) -> None:
+        # Validate the WHOLE request up front; only then submit it as
+        # one atomic queue entry.  Nothing is enqueued for a malformed
+        # request, and an overloaded queue sheds the request whole --
+        # the acknowledgement can never claim less (or more) than what
+        # actually happened.
         if not isinstance(body, dict):
             raise ValueError("body must be a JSON object")
         rows = body.get("comments", [])
         if not isinstance(rows, list):
             raise ValueError('"comments" must be a list')
         comments = [parse_comment_row(row) for row in rows]
-        sales = body.get("sales", [])
-        if not isinstance(sales, list):
+        sales_rows = body.get("sales", [])
+        if not isinstance(sales_rows, list):
             raise ValueError('"sales" must be a list of [item_id, volume]')
-        service = self.server.service
-        futures = [
-            service.submit_sales(int(item_id), int(volume))
-            for item_id, volume in sales
-        ]
-        if comments:
-            result = service.ingest(comments, timeout=RESPONSE_TIMEOUT_S)
+        sales = [parse_sales_row(row) for row in sales_rows]
+        if comments or sales:
+            result = self.server.service.feed(
+                comments, sales, timeout=RESPONSE_TIMEOUT_S
+            )
         else:
             result = None
-        for future in futures:
-            future.result(timeout=RESPONSE_TIMEOUT_S)
         payload: dict[str, Any] = {
             "accepted": result.accepted if result else 0,
             "duplicates": result.duplicates if result else 0,
-            "sales_updates": len(futures),
+            "sales_updates": result.sales_updates if result else 0,
             "alerts": [
                 dataclasses.asdict(a) for a in (result.alerts if result else [])
             ],
@@ -187,7 +250,7 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
     def _handle_score(self, body: Any) -> None:
         if not isinstance(body, dict) or "item_ids" not in body:
             raise ValueError('body must be {"item_ids": [...]}')
-        item_ids = [int(i) for i in body["item_ids"]]
+        item_ids = parse_item_ids(body["item_ids"])
         service = self.server.service
         try:
             probabilities = service.score(

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.collector.records import CommentRecord
-from repro.core.streaming import Alert, StreamingDetector
+from repro.core.streaming import Alert, StreamingDetector, shard_of
 from repro.core.system import CATS
 from repro.serving.batching import MicroBatcher, Request
 from repro.serving.checkpoint import CheckpointError, CheckpointManager
@@ -49,6 +49,8 @@ class IngestResult:
     duplicates: int
     #: Alerts emitted while processing this request.
     alerts: list[Alert] = field(default_factory=list)
+    #: Sales-volume updates applied as part of the same request.
+    sales_updates: int = 0
 
 
 class DetectionService:
@@ -73,6 +75,12 @@ class DetectionService:
         on :meth:`stop`).
     checkpoint_keep:
         Retained checkpoint generations.
+    shard:
+        ``(shard_index, shard_count)`` when this service is one worker
+        of a sharded cluster.  Checkpoints are stamped with the pair,
+        restores reject checkpoints from another partition, and ingest
+        rejects records whose item id routes to a different shard
+        (a misrouting front end must fail loudly, not corrupt state).
     """
 
     def __init__(
@@ -90,11 +98,21 @@ class DetectionService:
         checkpoint_keep: int = 3,
         score_chunk_size: int | None = None,
         score_workers: int | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if shard is not None:
+            index, count = int(shard[0]), int(shard[1])
+            if count < 1 or not 0 <= index < count:
+                raise ValueError(
+                    f"shard must be (index, count) with 0 <= index < "
+                    f"count, got {shard!r}"
+                )
+            shard = (index, count)
+        self.shard = shard
         self.cats = cats
         self.stream = StreamingDetector(
             cats,
@@ -113,11 +131,12 @@ class DetectionService:
             loaded = self.checkpoints.load_latest()
             if loaded is not None:
                 state, path = loaded
-                self.stream.restore_state(state)
+                self.stream.restore_state(state, expected_shard=self.shard)
                 self.restored_from = str(path)
         self.score_chunk_size = score_chunk_size
         self.score_workers = score_workers
-        self._last_checkpoint_observed = self.stream.n_observed
+        self._n_sales_updates = 0
+        self._last_checkpoint_marker = self._progress_marker()
         self.n_checkpoints_written = 0
         self.n_checkpoint_failures = 0
         self.last_checkpoint_error: str | None = None
@@ -138,16 +157,25 @@ class DetectionService:
             self._started_at = time.monotonic()
         return self
 
-    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
-        """Graceful shutdown.
+    def stop(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Graceful shutdown; returns ``True`` when the stop was clean.
 
         With ``drain`` (default) every accepted request is processed
         first; either way a final checkpoint is written when
-        checkpointing is configured, so a clean stop never loses state.
+        checkpointing is configured and any state changed since the
+        last checkpoint, so a clean stop never loses state (and a
+        restart-then-stop with no traffic never rotates a real older
+        generation out for a byte-duplicate).
+
+        A ``timeout`` that expires with the scheduler still draining
+        returns ``False``; no final checkpoint is written in that case
+        (the scheduler still owns the state -- snapshotting under a
+        live writer could tear).
         """
-        self._batcher.stop(drain=drain, timeout=timeout)
-        if self.checkpoints is not None:
-            self._write_checkpoint(force=True)
+        clean = self._batcher.stop(drain=drain, timeout=timeout)
+        if clean and self.checkpoints is not None:
+            self._write_checkpoint()
+        return clean
 
     @property
     def running(self) -> bool:
@@ -192,6 +220,33 @@ class DetectionService:
         """Queue a sales-volume update (resolves to None)."""
         return self._batcher.submit("sales", (item_id, sales_volume))
 
+    def submit_feed(
+        self,
+        comments: Sequence[CommentRecord],
+        sales: Iterable[tuple[int, int]] = (),
+    ) -> Future:
+        """Queue comments plus sales updates as ONE atomic request.
+
+        The future resolves to :class:`IngestResult`.  Because the
+        whole request is a single queue entry, load shedding is
+        all-or-nothing: a :class:`QueueFullError` (or
+        :class:`BatcherStopped`) guarantees *no* part of the request
+        -- neither sales nor comments -- was applied, so a 503
+        acknowledgement at the HTTP edge is honest.
+        """
+        return self._batcher.submit(
+            "feed", (list(comments), [tuple(s) for s in sales])
+        )
+
+    def feed(
+        self,
+        comments: Sequence[CommentRecord],
+        sales: Iterable[tuple[int, int]] = (),
+        timeout: float | None = None,
+    ) -> IngestResult:
+        """Synchronous :meth:`submit_feed`."""
+        return self.submit_feed(comments, sales).result(timeout=timeout)
+
     # -- queries (lock-free reads; see single-writer note above) -------------
 
     def alerts(self) -> list[Alert]:
@@ -209,11 +264,14 @@ class DetectionService:
             if self._started_at is not None
             else 0.0
         )
-        return {
+        health = {
             "status": "ok" if self.running else "stopped",
             "uptime_s": round(uptime, 3),
             "restored_from": self.restored_from,
         }
+        if self.shard is not None:
+            health["shard_index"], health["shard_count"] = self.shard
+        return health
 
     def stats(self) -> dict[str, Any]:
         """Queue, batching, streaming, cache and checkpoint counters."""
@@ -226,10 +284,13 @@ class DetectionService:
                 "duplicates_dropped": stream.n_duplicates,
                 "items_evicted": stream.n_evicted,
                 "alerts": len(stream.alerts),
+                "sales_updates": self._n_sales_updates,
                 "checkpoints_written": self.n_checkpoints_written,
                 "checkpoint_failures": self.n_checkpoint_failures,
             }
         )
+        if self.shard is not None:
+            stats["shard_index"], stats["shard_count"] = self.shard
         # Packed-predictor activity: confirms scoring goes through the
         # single-arena engine (repro.ml.inference), not a fallback.
         stats.update(self.cats.detector.packed_scoring_stats())
@@ -269,9 +330,16 @@ class DetectionService:
             try:
                 if request.kind == "ingest":
                     request.future.set_result(self._do_ingest(request.payload))
+                elif request.kind == "feed":
+                    comments, sales = request.payload
+                    request.future.set_result(
+                        self._do_feed(comments, sales)
+                    )
                 elif request.kind == "sales":
                     item_id, volume = request.payload
+                    self._check_shard_ownership([int(item_id)])
                     self.stream.update_sales(item_id, volume)
+                    self._n_sales_updates += 1
                     request.future.set_result(None)
                 else:
                     raise ValueError(
@@ -283,8 +351,22 @@ class DetectionService:
             self._do_scores(score_requests)
         self._maybe_checkpoint()
 
+    def _check_shard_ownership(self, item_ids: Iterable[int]) -> None:
+        """Reject items that route to a different shard (router bug)."""
+        if self.shard is None:
+            return
+        index, count = self.shard
+        for item_id in item_ids:
+            owner = shard_of(item_id, count)
+            if owner != index:
+                raise ValueError(
+                    f"item {item_id} routes to shard {owner}, not this "
+                    f"worker (shard {index} of {count})"
+                )
+
     def _do_ingest(self, records: list[CommentRecord]) -> IngestResult:
         stream = self.stream
+        self._check_shard_ownership(r.item_id for r in records)
         duplicates_before = stream.n_duplicates
         alerts = stream.observe_many(records)
         duplicates = stream.n_duplicates - duplicates_before
@@ -293,6 +375,27 @@ class DetectionService:
             duplicates=duplicates,
             alerts=alerts,
         )
+
+    def _do_feed(
+        self,
+        records: list[CommentRecord],
+        sales: list[tuple[int, int]],
+    ) -> IngestResult:
+        """Apply one atomic feed request: sales first, then comments.
+
+        Validation (shard ownership) runs before any mutation, so a
+        rejected request leaves no partial state behind.
+        """
+        self._check_shard_ownership(
+            [int(item_id) for item_id, _ in sales]
+        )
+        self._check_shard_ownership(r.item_id for r in records)
+        for item_id, volume in sales:
+            self.stream.update_sales(int(item_id), int(volume))
+            self._n_sales_updates += 1
+        result = self._do_ingest(records)
+        result.sales_updates = len(sales)
+        return result
 
     def _do_scores(self, requests: list[Request]) -> None:
         """One classifier call for every score request in the batch."""
@@ -327,25 +430,40 @@ class DetectionService:
                 {item_id: results[item_id] for item_id in request.payload}
             )
 
+    def _progress_marker(self) -> tuple[int, int]:
+        """State-advancement fingerprint since the last checkpoint.
+
+        Sales updates mutate durable state without moving
+        ``n_observed``, so they are tracked separately -- a sales-only
+        session must still get its final checkpoint.
+        """
+        return (self.stream.n_observed, self._n_sales_updates)
+
     def _maybe_checkpoint(self) -> None:
         if self.checkpoints is None or self.checkpoint_every is None:
             return
         progressed = (
-            self.stream.n_observed - self._last_checkpoint_observed
+            self.stream.n_observed - self._last_checkpoint_marker[0]
         )
         if progressed >= self.checkpoint_every:
-            self._write_checkpoint(force=False)
+            self._write_checkpoint()
 
-    def _write_checkpoint(self, force: bool) -> None:
+    def _write_checkpoint(self) -> None:
+        """Write a checkpoint unless nothing progressed since the last.
+
+        Skipping the no-op write matters beyond wasted I/O: with
+        ``keep=N`` rotation, a byte-duplicate final checkpoint on every
+        restart-then-stop cycle would rotate real older generations out
+        of the fallback window.
+        """
         if self.checkpoints is None:
             return
-        if (
-            not force
-            and self.stream.n_observed == self._last_checkpoint_observed
-        ):
+        if self._progress_marker() == self._last_checkpoint_marker:
             return
         try:
-            self.checkpoints.save(self.stream.export_state())
+            self.checkpoints.save(
+                self.stream.export_state(shard=self.shard)
+            )
         except (OSError, CheckpointError) as exc:
             # A failing disk must not take the scoring path down; the
             # failure is surfaced through /stats instead.
@@ -353,4 +471,4 @@ class DetectionService:
             self.last_checkpoint_error = str(exc)
             return
         self.n_checkpoints_written += 1
-        self._last_checkpoint_observed = self.stream.n_observed
+        self._last_checkpoint_marker = self._progress_marker()

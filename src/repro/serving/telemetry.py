@@ -1,0 +1,153 @@
+"""Counter/gauge telemetry registry for the serving layer.
+
+A shared-nothing cluster needs observability that composes: each shard
+process keeps its own registry (plain dicts behind one lock -- cheap
+enough for per-request increments), exposes a snapshot through its
+``/stats`` endpoint, and the router folds the per-shard snapshots into
+one cluster-wide view with :meth:`TelemetryRegistry.merge`.
+
+Two instrument kinds, deliberately minimal (the shape follows the
+Prometheus client model without the dependency):
+
+* **Counter** -- monotonically increasing float; merged by summation.
+  Use for totals: requests served, responses by status class, records
+  routed.
+* **Gauge** -- last-set float; merged by summation too (the cluster
+  view of ``queue_depth`` across shards is their sum), with the
+  per-shard values still available in the unmerged snapshots.
+
+Instruments are created on first use (``registry.counter(name)``), so
+call sites never need registration boilerplate, and a snapshot is a
+plain ``{"counters": {...}, "gauges": {...}}`` dict that serializes
+straight into the ``/stats`` JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing counter (thread-safe via its registry)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-value-wins gauge (thread-safe via its registry)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class TelemetryRegistry:
+    """Create-on-first-use registry of named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name*, created if absent."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                if name in self._gauges:
+                    raise ValueError(f"{name!r} is already a gauge")
+                instrument = Counter(self._lock)
+                self._counters[name] = instrument
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named *name*, created if absent."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                if name in self._counters:
+                    raise ValueError(f"{name!r} is already a counter")
+                instrument = Gauge(self._lock)
+                self._gauges[name] = instrument
+            return instrument
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand: increment the counter named *name*."""
+        self.counter(name).inc(amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready ``{"counters": {...}, "gauges": {...}}`` view.
+
+        Integral values are emitted as ints so the JSON stays readable
+        (counters are almost always whole numbers).
+        """
+        def _compact(value: float) -> float | int:
+            return int(value) if float(value).is_integer() else value
+
+        with self._lock:
+            return {
+                "counters": {
+                    name: _compact(c._value)
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: _compact(g._value)
+                    for name, g in sorted(self._gauges.items())
+                },
+            }
+
+    @staticmethod
+    def merge(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+        """Fold per-shard snapshots into one cluster-wide snapshot.
+
+        Counters and gauges are summed name-wise; a name missing from
+        some shards contributes nothing for those shards.  The result
+        has the same shape as :meth:`snapshot`, so merged views nest
+        (a router's merge of routers is well-defined).
+        """
+        merged: dict[str, dict[str, float | int]] = {
+            "counters": {},
+            "gauges": {},
+        }
+        for snapshot in snapshots:
+            for kind in ("counters", "gauges"):
+                for name, value in snapshot.get(kind, {}).items():
+                    merged[kind][name] = merged[kind].get(name, 0) + value
+        merged["counters"] = dict(sorted(merged["counters"].items()))
+        merged["gauges"] = dict(sorted(merged["gauges"].items()))
+        return merged

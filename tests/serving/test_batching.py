@@ -153,6 +153,49 @@ class TestShutdown:
         with pytest.raises(BatcherStopped):
             batcher.submit("x", 1)
 
+    def test_clean_stop_returns_true(self, batcher_log):
+        batcher = make_batcher(batcher_log)
+        assert batcher.stop() is True
+        assert batcher.running is False
+
+    def test_timed_out_stop_is_not_clean_and_blocks_restart(self):
+        """A stop() whose join times out must not pretend it stopped.
+
+        Regression: stop() used to clear the thread handle even when
+        the scheduler was still draining, so ``running`` lied and a
+        second start() could put two scheduler threads on the same
+        processor (breaking the single-writer invariant).
+        """
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocking(batch):
+            started.set()
+            release.wait(10)
+            for request in batch:
+                request.future.set_result(None)
+
+        batcher = MicroBatcher(blocking, max_batch=1, max_delay=0)
+        batcher.start()
+        future = batcher.submit("x", 0)
+        assert started.wait(5)
+        # The scheduler is wedged inside the processor: the join times
+        # out, the stop is not clean, and the thread handle survives.
+        assert batcher.stop(drain=False, timeout=0.1) is False
+        assert batcher._thread is not None
+        assert batcher._thread.is_alive()
+        with pytest.raises(RuntimeError, match="still draining"):
+            batcher.start()
+        # Once the old scheduler actually exits, start() works again.
+        release.set()
+        assert future.result(timeout=5) is None
+        batcher._thread.join(timeout=5)
+        batcher.start()
+        assert batcher.running
+        second = batcher.submit("x", 1)
+        assert second.result(timeout=5) is None
+        assert batcher.stop() is True
+
 
 class TestFailureIsolation:
     def test_processor_exception_fails_batch_not_scheduler(self):
@@ -200,3 +243,14 @@ class TestStats:
         assert (
             stats["batch_latency_p99_ms"] >= stats["batch_latency_p50_ms"]
         )
+
+    def test_percentiles_use_nearest_rank(self):
+        """Regression: p99 used to floor to int(q*(n-1)), reporting
+        ~p96 on small windows (25 samples 1..25 ms gave 24 ms)."""
+        batcher = MicroBatcher(lambda batch: None)
+        for ms in range(1, 26):
+            batcher._batch_latencies.append(ms / 1000.0)
+            batcher._batch_sizes.append(1)
+        stats = batcher.stats()
+        assert stats["batch_latency_p99_ms"] == 25.0
+        assert stats["batch_latency_p50_ms"] == 13.0

@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
 
 import pytest
 
@@ -168,3 +169,149 @@ class TestErrorMapping:
             "POST", "/score", {"item_ids": [1]}
         )
         assert status == 503
+
+    def test_malformed_sales_rows_are_400_not_dropped(self, served):
+        """Regression: a sales row like ``[1]`` or ``[null, 5]`` used
+        to raise an uncaught TypeError inside the handler, dropping the
+        connection instead of answering.  Getting *any* status back
+        proves the connection survived; it must be a 400."""
+        _, client = served
+        for body in (
+            {"sales": [[1]]},
+            {"sales": [7]},
+            {"sales": [[None, 5]]},
+            {"sales": [[1, 2, 3]]},
+            {"sales": "nope"},
+            {"comments": [], "sales": [["x", "y"]]},
+        ):
+            status, payload = client.request("POST", "/ingest", body)
+            assert status == 400, body
+            assert "error" in payload
+
+    def test_null_item_ids_are_400_not_dropped(self, served):
+        _, client = served
+        status, payload = client.request(
+            "POST", "/score", {"item_ids": [None]}
+        )
+        assert status == 400
+        assert "error" in payload
+        assert client.request("POST", "/score", {"item_ids": 3})[0] == 400
+
+
+class TestAtomicAcknowledgement:
+    """An /ingest acknowledgement must never lie about partial work."""
+
+    @pytest.fixture()
+    def gated_served(self, trained_cats):
+        """A served service whose scheduler blocks until released,
+        with a 2-deep queue so tests control exactly how full it is."""
+        import http.client
+
+        service = DetectionService(
+            trained_cats,
+            rescore_growth=1.0,
+            max_batch=1,
+            max_delay_ms=0,
+            queue_depth=2,
+        )
+        started = threading.Event()
+        release = threading.Event()
+        original = service._batcher._process_batch
+
+        def gated(batch):
+            started.set()
+            release.wait(30)
+            original(batch)
+
+        service._batcher._process_batch = gated
+        service.start()
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+
+        def request(method, path, body=None):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server_address[1], timeout=60
+            )
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=json.dumps(body) if body is not None else None,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                return response.status, json.loads(response.read())
+            finally:
+                conn.close()
+
+        yield service, request, started, release
+        release.set()
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    def _occupy_scheduler(self, service, started):
+        """Park the scheduler inside the gate on a no-op batch."""
+        service.submit_ingest([])
+        assert started.wait(10)
+
+    def test_ack_applies_everything_when_queue_has_room(
+        self, gated_served, feed
+    ):
+        """Regression: sales updates were submitted as separate queue
+        entries before the comment ingest, so with one free slot the
+        sale got in, the ingest was shed, and the 503 acknowledgement
+        lied (the sale still applied).  As one atomic entry the whole
+        request fits the free slot and the ack reports all of it."""
+        service, request, started, release = gated_served
+        self._occupy_scheduler(service, started)
+        service.submit_ingest([])  # one of two slots -> one free
+        record = feed[0]
+        body = {
+            "comments": [dataclasses.asdict(record)],
+            "sales": [[record.item_id, 7777]],
+        }
+        outcome = {}
+
+        def post():
+            outcome["response"] = request("POST", "/ingest", body)
+
+        poster = threading.Thread(target=post)
+        poster.start()
+        # Give the request time to enqueue, then let the scheduler run.
+        poster.join(timeout=0.5)
+        release.set()
+        poster.join(timeout=30)
+        status, ack = outcome["response"]
+        assert status == 200
+        assert ack["accepted"] == 1
+        assert ack["sales_updates"] == 1
+        assert service.stream.n_observed == 1
+        assert service.stream._items[record.item_id].sales_volume == 7777
+
+    def test_shed_request_applies_nothing(self, gated_served, feed):
+        """With the queue completely full the request is shed whole:
+        503, and neither the comments nor the sales update land."""
+        service, request, started, release = gated_served
+        self._occupy_scheduler(service, started)
+        service.submit_ingest([])
+        service.submit_ingest([])  # queue now at capacity (2)
+        record = feed[0]
+        status, payload = request(
+            "POST",
+            "/ingest",
+            {
+                "comments": [dataclasses.asdict(record)],
+                "sales": [[record.item_id, 7777]],
+            },
+        )
+        assert status == 503
+        assert "error" in payload
+        release.set()
+        deadline = time.monotonic() + 10
+        while service._batcher.stats()["queue_depth"] > 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert service.stream.n_observed == 0
+        assert service._n_sales_updates == 0

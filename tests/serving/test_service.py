@@ -198,6 +198,79 @@ class TestCheckpointing:
         assert second.alerts() == first.alerts()
         second.stop()
 
+    def test_idle_stop_does_not_rotate_out_real_generations(
+        self, trained_cats, feed, tmp_path
+    ):
+        """Regression: stop() used to force-write a checkpoint even
+        when nothing changed, so every restart-then-stop cycle rotated
+        a byte-duplicate generation in and (with keep=3) a real older
+        generation out of the fallback window."""
+        ckpt_dir = tmp_path / "ckpts"
+
+        def generations() -> list[str]:
+            return sorted(p.name for p in ckpt_dir.iterdir())
+
+        first = DetectionService(
+            trained_cats,
+            rescore_growth=1.0,
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=40,
+            max_delay_ms=1,
+        ).start()
+        first.ingest(feed[:100])
+        first.stop()
+        after_traffic = generations()
+        assert after_traffic  # at least the final checkpoint landed
+
+        # Three idle restart/stop cycles: no progress, no new writes.
+        for _ in range(3):
+            idle = DetectionService(
+                trained_cats, checkpoint_dir=str(ckpt_dir)
+            ).start()
+            assert idle.restored_from is not None
+            assert idle.stop() is True
+            assert idle.n_checkpoints_written == 0
+        assert generations() == after_traffic
+
+        # Real progress still gets its final checkpoint on stop.
+        active = DetectionService(
+            trained_cats,
+            rescore_growth=1.0,
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=10_000,
+            max_delay_ms=1,
+        ).start()
+        active.ingest(feed[100:120])
+        active.stop()
+        assert active.n_checkpoints_written == 1
+        assert generations() != after_traffic
+
+    def test_sales_only_session_checkpoints_on_stop(
+        self, trained_cats, feed, tmp_path
+    ):
+        """Sales updates move durable state without moving n_observed;
+        the final checkpoint must still cover them."""
+        ckpt_dir = str(tmp_path / "ckpts")
+        first = DetectionService(
+            trained_cats,
+            rescore_growth=1.0,
+            checkpoint_dir=ckpt_dir,
+            max_delay_ms=1,
+        ).start()
+        first.ingest(feed[:10])
+        first.stop()
+
+        item_id = feed[0].item_id
+        second = DetectionService(
+            trained_cats, checkpoint_dir=ckpt_dir, max_delay_ms=1
+        ).start()
+        second.submit_sales(item_id, 31337).result(timeout=10)
+        second.stop()
+        assert second.n_checkpoints_written == 1
+
+        third = DetectionService(trained_cats, checkpoint_dir=ckpt_dir)
+        assert third.stream._items[item_id].sales_volume == 31337
+
     def test_checkpoint_failure_does_not_break_scoring(
         self, trained_cats, feed, tmp_path, monkeypatch
     ):

@@ -1,0 +1,121 @@
+"""Tests for repro.serving.telemetry (no trained model needed)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.telemetry import TelemetryRegistry
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        registry = TelemetryRegistry()
+        registry.inc("requests")
+        registry.inc("requests", 4)
+        assert registry.counter("requests").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("requests").inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        registry = TelemetryRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_same_name_returns_same_instrument(self):
+        registry = TelemetryRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+
+    def test_kind_collision_rejected(self):
+        registry = TelemetryRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            registry.gauge("x")
+        registry.gauge("y")
+        with pytest.raises(ValueError, match="already a gauge"):
+            registry.counter("y")
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_compaction(self):
+        registry = TelemetryRegistry()
+        registry.inc("whole", 3)
+        registry.inc("fractional", 0.5)
+        registry.gauge("depth").set(7)
+        snapshot = registry.snapshot()
+        assert snapshot == {
+            "counters": {"fractional": 0.5, "whole": 3},
+            "gauges": {"depth": 7},
+        }
+        assert isinstance(snapshot["counters"]["whole"], int)
+
+    def test_snapshot_is_sorted(self):
+        registry = TelemetryRegistry()
+        for name in ("zebra", "alpha", "mid"):
+            registry.inc(name)
+        assert list(registry.snapshot()["counters"]) == [
+            "alpha",
+            "mid",
+            "zebra",
+        ]
+
+    def test_concurrent_increments_lose_nothing(self):
+        registry = TelemetryRegistry()
+        n_threads, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.inc("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hits").value == n_threads * per_thread
+
+
+class TestMerge:
+    def test_merge_sums_name_wise(self):
+        a = TelemetryRegistry()
+        a.inc("requests", 3)
+        a.gauge("depth").set(2)
+        b = TelemetryRegistry()
+        b.inc("requests", 4)
+        b.inc("only_b")
+        b.gauge("depth").set(5)
+        merged = TelemetryRegistry.merge([a.snapshot(), b.snapshot()])
+        assert merged == {
+            "counters": {"only_b": 1, "requests": 7},
+            "gauges": {"depth": 7},
+        }
+
+    def test_merge_is_nestable(self):
+        """A merge of merges equals the merge of all leaves (so a
+        router of routers aggregates correctly)."""
+        leaves = []
+        for value in (1, 2, 3, 4):
+            registry = TelemetryRegistry()
+            registry.inc("n", value)
+            leaves.append(registry.snapshot())
+        pairwise = [
+            TelemetryRegistry.merge(leaves[:2]),
+            TelemetryRegistry.merge(leaves[2:]),
+        ]
+        assert TelemetryRegistry.merge(pairwise) == TelemetryRegistry.merge(
+            leaves
+        )
+
+    def test_merge_empty(self):
+        assert TelemetryRegistry.merge([]) == {
+            "counters": {},
+            "gauges": {},
+        }
