@@ -10,7 +10,7 @@ TOY_MODEL := examples/toy_model
 
 .PHONY: verify test bench-smoke bench-smoke-serving \
 	bench-smoke-pipeline bench-smoke-training bench-smoke-inference \
-	bench-smoke-cluster bench serve serve-cluster
+	bench-smoke-cluster bench-smoke-shadow bench serve serve-cluster
 
 verify:
 	sh scripts/verify.sh
@@ -35,6 +35,9 @@ bench-smoke-inference:
 
 bench-smoke-cluster:
 	python benchmarks/bench_cluster.py --quick
+
+bench-smoke-shadow:
+	python benchmarks/bench_shadow.py --quick
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

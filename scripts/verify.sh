@@ -27,6 +27,9 @@ python benchmarks/bench_training.py --quick
 echo "==> inference engine smoke bench (--quick)"
 python benchmarks/bench_inference.py --quick
 
+echo "==> shadow-scoring overhead smoke bench (--quick)"
+python benchmarks/bench_shadow.py --quick
+
 echo "==> tier-1 test suite"
 python -m pytest -x -q
 

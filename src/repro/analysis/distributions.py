@@ -65,6 +65,16 @@ def histogram(
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
         raise ValueError("cannot histogram an empty sample")
+    if value_range is None:
+        lo, hi = float(arr.min()), float(arr.max())
+    else:
+        lo, hi = value_range
+    # A denormal-width span underflows np.histogram's bin-width
+    # computation ("Too many bins for data range"); such a sample is
+    # constant at float64 resolution, so widen it the same way
+    # np.histogram widens an exactly-constant one.
+    if hi > lo and lo + (hi - lo) / bins == lo:
+        value_range = (lo - 0.5, hi + 0.5)
     density, edges = np.histogram(
         arr, bins=bins, range=value_range, density=True
     )

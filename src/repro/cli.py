@@ -1,10 +1,12 @@
 """Command-line interface for the CATS reproduction.
 
-Five subcommands cover the deployment workflow the paper describes:
+Seven subcommands cover the deployment workflow the paper describes:
 
 ``cats train``
     Train the semantic analyzer and pre-train the detector on a
-    D0-style labeled dataset; save the system to a model directory.
+    D0-style labeled dataset; save the system (plus its drift
+    reference histogram) to a model directory, optionally registering
+    it as a new version in a model registry.
 ``cats crawl``
     Crawl a simulated platform's public website into a JSONL dataset
     directory (shop/item/comment records).
@@ -15,9 +17,20 @@ Five subcommands cover the deployment workflow the paper describes:
     Load a trained model, build a labeled D1-style dataset, and print
     the Table VI-style precision/recall/F-score report.
 ``cats serve``
-    Load a trained model and run the micro-batching HTTP detection
-    service (``/score``, ``/ingest``, ``/alerts``, ``/healthz``,
-    ``/stats``) with durable streaming-state checkpoints.
+    Load a trained model (a plain archive, or a registry's champion)
+    and run the micro-batching HTTP detection service (``/score``,
+    ``/ingest``, ``/alerts``, ``/healthz``, ``/stats``, ``/drift``)
+    with durable streaming-state checkpoints, optional traffic
+    recording (``--record``) and challenger shadow scoring
+    (``--shadow-model``).
+``cats models``
+    Inspect and manage a model registry: ``list``, ``show``,
+    ``register`` an archive as a new version, ``promote`` a version to
+    champion.
+``cats replay``
+    Re-score a recorded traffic feed (from ``serve --record``) under
+    any model or registry version; with ``--challenger`` produce a
+    champion-vs-challenger disagreement report.
 
 Outside this reproduction the ``crawl`` step would target a real site;
 here it targets the platform simulator, selected by ``--platform``.
@@ -47,19 +60,56 @@ from repro.datasets.builders import (
 from repro.analysis.reporting import render_table
 
 
+def _resolve_model(path: str, version: int | None = None):
+    """Load a model from a plain archive dir or a registry root.
+
+    Returns ``(cats, model_info, artifact_dir)``; ``model_info`` is the
+    registry identity stamp (None for plain archives -- the serving
+    layer derives identity from the archive manifest instead).
+    """
+    from repro.mlops import ModelRegistry, RegistryError, is_registry
+
+    try:
+        if is_registry(path):
+            registry = ModelRegistry(path)
+            if version is not None:
+                cats = registry.load_version(version)
+            else:
+                cats, entry = registry.load_champion()
+                version = entry.version
+            info = registry.model_info(version)
+            return cats, info, Path(info["source"])
+    except RegistryError as exc:
+        raise SystemExit(str(exc))
+    if version is not None:
+        raise SystemExit(
+            f"{path} is a plain model directory; version selection "
+            "needs a registry root"
+        )
+    return load_cats(path), None, Path(path)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.mlops import ModelRegistry, ReferenceHistogram
+
     print(
         f"training CATS (D0 scale {args.scale}) ...", file=sys.stderr
     )
     cats, d0 = train_cats(default_language(), d0_scale=args.scale)
     save_cats(cats, args.model_dir)
+    features = cats.extract_features(d0.items)
+    # The training-time feature distribution travels with the archive
+    # so any service loading it can monitor live drift against it.
+    ReferenceHistogram.from_matrix(features).save(args.model_dir)
     print(
-        f"trained on D0 ({d0.summary()}) -> saved to {args.model_dir}",
+        f"trained on D0 ({d0.summary()}) -> saved to {args.model_dir} "
+        "(with drift reference)",
         file=sys.stderr,
     )
+    scores: dict[str, float] = {}
     if args.cv:
         scores = cats.cross_validate_detector(
-            cats.extract_features(d0.items),
+            features,
             d0.labels,
             n_splits=args.cv,
             n_workers=args.cv_workers,
@@ -67,6 +117,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(
             json.dumps({"cv": {k: round(v, 4) for k, v in scores.items()}})
         )
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        entry = registry.register_artifact(
+            args.model_dir,
+            metrics=scores,
+            parent=registry.champion_version(),
+            note=args.note,
+        )
+        if args.promote:
+            registry.promote(entry.version)
+            entry = registry.get(entry.version)
+        print(json.dumps({"registered": entry.as_dict()}))
     return 0
 
 
@@ -154,7 +216,122 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.core.persistence import PersistenceError, read_manifest
+    from repro.mlops import (
+        ModelRegistry,
+        ReferenceHistogram,
+        RegistryError,
+    )
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.models_command == "list":
+            champion = registry.champion_version()
+            print(
+                json.dumps(
+                    {
+                        "registry": str(registry.root),
+                        "champion": champion,
+                        "versions": [
+                            v.as_dict() for v in registry.versions()
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        elif args.models_command == "show":
+            entry = registry.get(args.version)
+            detail = entry.as_dict()
+            archive = read_manifest(entry.artifact_dir)
+            detail["feature_schema"] = archive.get("feature_schema")
+            detail["format_version"] = archive.get("format_version")
+            detail["config"] = archive.get("config")
+            detail["drift_reference"] = ReferenceHistogram.exists(
+                entry.artifact_dir
+            )
+            print(json.dumps(detail, indent=2))
+        elif args.models_command == "register":
+            entry = registry.register_artifact(
+                args.model_dir,
+                parent=args.parent,
+                note=args.note,
+            )
+            print(json.dumps({"registered": entry.as_dict()}))
+        elif args.models_command == "promote":
+            previous = registry.champion_version()
+            entry = registry.promote(args.version)
+            print(
+                json.dumps(
+                    {"promoted": entry.version, "previous": previous}
+                )
+            )
+    except (RegistryError, PersistenceError) as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.mlops import (
+        RecordingError,
+        compare_recording,
+        replay_recording,
+    )
+
+    champion, champion_info, _ = _resolve_model(
+        args.model_dir, args.version
+    )
+    challenger = challenger_info = None
+    if args.challenger is not None:
+        challenger, challenger_info, _ = _resolve_model(
+            args.challenger, args.challenger_version
+        )
+    elif args.challenger_version is not None:
+        # Same registry, different version: the common promotion check.
+        challenger, challenger_info, _ = _resolve_model(
+            args.model_dir, args.challenger_version
+        )
+    kwargs = dict(
+        rescore_growth=args.rescore_growth,
+        min_comments_to_score=args.min_comments,
+    )
+    try:
+        if challenger is not None:
+            report = compare_recording(
+                champion,
+                challenger,
+                args.recording,
+                champion_info=champion_info,
+                challenger_info=challenger_info,
+                top_n=args.top,
+                **kwargs,
+            )
+        else:
+            result = replay_recording(champion, args.recording, **kwargs)
+            report = {
+                "recording": str(args.recording),
+                "model": dict(champion_info or {}),
+                **result.summary(),
+                "flagged": result.flagged,
+            }
+    except RecordingError as exc:
+        raise SystemExit(str(exc))
+    output = json.dumps(report, indent=2)
+    if args.output:
+        Path(args.output).write_text(output, encoding="utf-8")
+        print(f"wrote replay report to {args.output}", file=sys.stderr)
+    else:
+        print(output)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.mlops import (
+        DriftMonitor,
+        ReferenceHistogram,
+        ShadowScorer,
+        TrafficRecorder,
+    )
     from repro.serving import DetectionService, make_server
 
     if args.shards > 1:
@@ -162,7 +339,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     shard = None
     if args.shard_count > 1:
         shard = (args.shard_index, args.shard_count)
-    cats = load_cats(args.model_dir)
+    cats, model_info, artifact_dir = _resolve_model(
+        args.model_dir, args.model_version
+    )
+    if model_info is not None:
+        print(
+            f"serving model version={model_info['version']} "
+            f"hash={str(model_info['content_hash'])[:12]}",
+            file=sys.stderr,
+        )
+    drift_monitor = None
+    if not args.no_drift and ReferenceHistogram.exists(artifact_dir):
+        drift_monitor = DriftMonitor(ReferenceHistogram.load(artifact_dir))
+        print(
+            "drift monitoring on (reference histogram found)",
+            file=sys.stderr,
+        )
+    recorder = TrafficRecorder(args.record) if args.record else None
+    shadow = None
+    if args.shadow_model or args.shadow_version is not None:
+        # --shadow-version alone shadows a sibling version from the
+        # registry being served.
+        shadow_source = args.shadow_model or args.model_dir
+        challenger, challenger_info, _ = _resolve_model(
+            shadow_source, args.shadow_version
+        )
+        shadow = ShadowScorer(
+            cats,
+            challenger,
+            info=challenger_info,
+            log_path=args.shadow_log,
+            rescore_growth=args.rescore_growth,
+            min_comments_to_score=args.min_comments,
+            max_tracked_items=args.max_tracked_items,
+        )
+        label = shadow_source
+        if challenger_info is not None:
+            label = f"{shadow_source} version {challenger_info['version']}"
+        print(
+            f"shadow scoring {label} "
+            f"(analysis {'shared' if shadow.analysis_shared else 'separate'})",
+            file=sys.stderr,
+        )
     service = DetectionService(
         cats,
         rescore_growth=args.rescore_growth,
@@ -174,6 +392,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         shard=shard,
+        model_info=model_info,
+        shadow=shadow,
+        drift_monitor=drift_monitor,
+        recorder=recorder,
     )
     if service.restored_from:
         print(
@@ -216,6 +438,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     from repro.serving.cluster import ShardCluster
 
+    # Single-file sinks cannot be shared by shard processes.
+    if args.record or args.shadow_log:
+        raise SystemExit(
+            "--record/--shadow-log are per-process files; run them on "
+            "single-process serves (one per shard) instead"
+        )
     # Tuning flags are forwarded verbatim so every shard worker runs
     # the same micro-batching configuration as a single-process serve.
     worker_args = (
@@ -228,6 +456,14 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     )
     if args.max_tracked_items is not None:
         worker_args += ("--max-tracked-items", str(args.max_tracked_items))
+    if args.model_version is not None:
+        worker_args += ("--model-version", str(args.model_version))
+    if args.no_drift:
+        worker_args += ("--no-drift",)
+    if args.shadow_model:
+        worker_args += ("--shadow-model", args.shadow_model)
+    if args.shadow_version is not None:
+        worker_args += ("--shadow-version", str(args.shadow_version))
     cluster = ShardCluster(
         args.model_dir,
         args.shards,
@@ -299,6 +535,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit CV folds on this many workers (default serial; "
         "metrics are identical for any worker count)",
     )
+    train.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="also register the trained model as a new version in this "
+        "registry (CV metrics, when computed, are recorded with it)",
+    )
+    train.add_argument(
+        "--promote", action="store_true",
+        help="promote the registered version to champion (needs --registry)",
+    )
+    train.add_argument(
+        "--note", default="", help="free-form note stored with the version"
+    )
     train.set_defaults(func=_cmd_train)
 
     crawl = sub.add_parser("crawl", help="crawl a platform's public site")
@@ -346,10 +594,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.set_defaults(func=_cmd_evaluate)
 
+    models = sub.add_parser(
+        "models", help="inspect and manage a model registry"
+    )
+    msub = models.add_subparsers(dest="models_command", required=True)
+    mlist = msub.add_parser("list", help="list registered versions")
+    mlist.add_argument("registry", help="registry root directory")
+    mlist.set_defaults(func=_cmd_models)
+    mshow = msub.add_parser("show", help="show one version in detail")
+    mshow.add_argument("registry", help="registry root directory")
+    mshow.add_argument("version", type=int)
+    mshow.set_defaults(func=_cmd_models)
+    mregister = msub.add_parser(
+        "register", help="register an existing model archive"
+    )
+    mregister.add_argument("registry", help="registry root directory")
+    mregister.add_argument("model_dir", help="save_cats archive to register")
+    mregister.add_argument(
+        "--parent", type=int, default=None,
+        help="version this one was trained to replace",
+    )
+    mregister.add_argument(
+        "--note", default="", help="free-form note stored with the version"
+    )
+    mregister.set_defaults(func=_cmd_models)
+    mpromote = msub.add_parser(
+        "promote", help="atomically point the champion at a version"
+    )
+    mpromote.add_argument("registry", help="registry root directory")
+    mpromote.add_argument("version", type=int)
+    mpromote.set_defaults(func=_cmd_models)
+
+    replay = sub.add_parser(
+        "replay", help="re-score a recorded traffic feed offline"
+    )
+    replay.add_argument(
+        "model_dir", help="model directory or registry root (champion)"
+    )
+    replay.add_argument(
+        "recording", help="JSONL traffic recording from `serve --record`"
+    )
+    replay.add_argument(
+        "--version", type=int, default=None,
+        help="replay under this registry version instead of the champion",
+    )
+    replay.add_argument(
+        "--challenger", default=None, metavar="MODEL",
+        help="also replay under this model and report disagreements",
+    )
+    replay.add_argument(
+        "--challenger-version", type=int, default=None,
+        help="challenger registry version (with --challenger, or from "
+        "the same registry as the champion when --challenger is omitted)",
+    )
+    replay.add_argument(
+        "--rescore-growth", type=float, default=1.25,
+        help="streaming rescore cadence (match the recording service)",
+    )
+    replay.add_argument(
+        "--min-comments", type=int, default=3,
+        help="minimum buffered comments to score (match the service)",
+    )
+    replay.add_argument(
+        "--top", type=int, default=10,
+        help="disagreements to list in the comparison report",
+    )
+    replay.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    replay.set_defaults(func=_cmd_replay)
+
     serve = sub.add_parser(
         "serve", help="run the micro-batching HTTP detection service"
     )
-    serve.add_argument("model_dir", help="trained model directory")
+    serve.add_argument(
+        "model_dir",
+        help="trained model directory, or a registry root (serves the "
+        "promoted champion)",
+    )
+    serve.add_argument(
+        "--model-version", type=int, default=None,
+        help="serve this registry version instead of the champion",
+    )
+    serve.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="append every applied feed request to this JSONL recording "
+        "(replay input for `cats replay`)",
+    )
+    serve.add_argument(
+        "--shadow-model", default=None, metavar="MODEL",
+        help="score this challenger (model dir or registry root) on the "
+        "same traffic; disagreements surface in /stats, alerts are "
+        "champion-only",
+    )
+    serve.add_argument(
+        "--shadow-version", type=int, default=None,
+        help="shadow this registry version (of --shadow-model, or of "
+        "the served registry when --shadow-model is omitted)",
+    )
+    serve.add_argument(
+        "--shadow-log", default=None, metavar="FILE",
+        help="rotating JSONL disagreement log for the shadow scorer",
+    )
+    serve.add_argument(
+        "--no-drift", action="store_true",
+        help="disable drift monitoring even when the model archive "
+        "carries a reference histogram",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8321,

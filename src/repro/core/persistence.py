@@ -36,6 +36,7 @@ JSON-plus-npz, no-pickle conventions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import tempfile
@@ -53,6 +54,7 @@ from repro.core.config import (
 )
 from repro.core.analyzer import SemanticAnalyzer
 from repro.core.detector import Detector
+from repro.core.features import FEATURE_NAMES
 from repro.core.lexicon import SentimentLexicon
 from repro.core.system import CATS
 from repro.ml import (
@@ -78,6 +80,62 @@ _SAVABLE_CLASSIFIERS = ("xgboost", "svm")
 
 class PersistenceError(RuntimeError):
     """Raised when an archive is missing, corrupt, or unsupported."""
+
+
+#: Analyzer-side component files, in content-hash order.  Two archives
+#: with equal ``analyzer_hash`` produce bit-identical per-comment
+#: analyses, so a shadow challenger sharing the hash can reuse the
+#: champion's feature extractor (and its analysis cache).
+_ANALYZER_FILES = (
+    "segmenter.json",
+    "word2vec.npz",
+    "word2vec_vocab.json",
+    "sentiment.npz",
+    "sentiment_vocab.json",
+    "lexicon.json",
+)
+
+#: Stage-2 classifier files.
+_DETECTOR_FILES = ("detector.json", "detector.npz")
+
+#: Every component file covered by the manifest ``content_hash``.
+_COMPONENT_FILES = _ANALYZER_FILES + _DETECTOR_FILES
+
+
+def _hash_files(directory: Path, names: tuple[str, ...]) -> str:
+    """sha256 over (name, bytes) of *names* under *directory*, in order."""
+    digest = hashlib.sha256()
+    for name in names:
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update((directory / name).read_bytes())
+    return digest.hexdigest()
+
+
+def archive_fingerprint(directory: str | Path) -> dict[str, str]:
+    """Recompute an archive's content hashes from its bytes on disk.
+
+    Returns ``{"content_hash", "analyzer_hash"}``; raises
+    :class:`PersistenceError` when a component file is missing.
+    """
+    path = Path(directory)
+    try:
+        return {
+            "content_hash": _hash_files(path, _COMPONENT_FILES),
+            "analyzer_hash": _hash_files(path, _ANALYZER_FILES),
+        }
+    except OSError as exc:
+        raise PersistenceError(
+            f"cannot fingerprint archive at {path}: {exc}"
+        ) from exc
+
+
+def read_manifest(directory: str | Path) -> dict[str, Any]:
+    """The archive manifest under *directory* (identity without loading)."""
+    manifest_path = Path(directory) / "manifest.json"
+    if not manifest_path.exists():
+        raise PersistenceError(f"no CATS archive at {directory}")
+    return json.loads(manifest_path.read_text(encoding="utf-8"))
 
 
 # -- atomic file primitives ----------------------------------------------
@@ -336,21 +394,57 @@ def save_cats(cats: CATS, directory: str | Path) -> None:
     manifest = {
         "format_version": FORMAT_VERSION,
         "config": _config_to_dict(cats.config),
+        # Ordered feature-schema fingerprint: the stage-2 classifier
+        # was fitted against exactly these columns in exactly this
+        # order; a loader running under a different schema must reject
+        # the archive instead of silently mis-scoring.
+        "feature_schema": list(FEATURE_NAMES),
+        # Content hashes over the component files written above (the
+        # manifest is written last, so the hashes cover final bytes).
+        **archive_fingerprint(path),
     }
     write_json_atomic(path / "manifest.json", manifest, indent=2)
 
 
-def load_cats(directory: str | Path) -> CATS:
-    """Load a CATS system previously written by :func:`save_cats`."""
+def load_cats(directory: str | Path, verify_hash: bool = True) -> CATS:
+    """Load a CATS system previously written by :func:`save_cats`.
+
+    Rejects archives whose ordered feature schema differs from this
+    build's :data:`~repro.core.features.FEATURE_NAMES` (a model trained
+    on different features would load fine and silently mis-score) and,
+    with ``verify_hash`` (the default), archives whose component bytes
+    no longer match the manifest's ``content_hash``.  Archives written
+    before these fields existed load unchecked.
+
+    The loaded system carries its identity in ``cats.archive_info``
+    (path, content/analyzer hashes, feature schema), which the serving
+    layer surfaces through ``/healthz`` and stamps into checkpoints.
+    """
     path = Path(directory)
-    manifest_path = path / "manifest.json"
-    if not manifest_path.exists():
-        raise PersistenceError(f"no CATS archive at {path}")
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest = read_manifest(path)
     if manifest.get("format_version") != FORMAT_VERSION:
         raise PersistenceError(
             f"unsupported archive version {manifest.get('format_version')}"
         )
+    schema = manifest.get("feature_schema")
+    if schema is not None and list(schema) != list(FEATURE_NAMES):
+        raise PersistenceError(
+            f"archive at {path} was trained on feature schema "
+            f"{list(schema)!r} but this build extracts "
+            f"{list(FEATURE_NAMES)!r}; refusing to load a model that "
+            f"would silently mis-score"
+        )
+    recorded_hash = manifest.get("content_hash")
+    fingerprint: dict[str, str] = {}
+    if recorded_hash is not None:
+        fingerprint = archive_fingerprint(path)
+        if verify_hash and fingerprint["content_hash"] != recorded_hash:
+            raise PersistenceError(
+                f"archive at {path} does not match its manifest "
+                f"content hash (expected {recorded_hash}, recomputed "
+                f"{fingerprint['content_hash']}); the archive is "
+                f"corrupt or its files were swapped"
+            )
     config = _config_from_dict(manifest["config"])
 
     dictionary = json.loads(
@@ -370,4 +464,13 @@ def load_cats(directory: str | Path) -> CATS:
     )
     cats = CATS(analyzer, config=config)
     cats.detector = _load_detector(path, config)
+    cats.archive_info = {
+        "path": str(path),
+        "format_version": manifest["format_version"],
+        "content_hash": fingerprint.get("content_hash", recorded_hash),
+        "analyzer_hash": fingerprint.get(
+            "analyzer_hash", manifest.get("analyzer_hash")
+        ),
+        "feature_schema": list(schema) if schema is not None else None,
+    }
     return cats

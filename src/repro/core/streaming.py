@@ -98,6 +98,43 @@ def shard_of(item_id: int, n_shards: int) -> int:
     return hash(int(item_id)) % n_shards
 
 
+def _check_model_stamp(recorded: dict, expected: dict) -> None:
+    """Reject a snapshot pinned to a different model.
+
+    Content hashes are authoritative when both sides carry one;
+    otherwise registry versions are compared.  A stamp sharing neither
+    field with the expectation is rejected outright -- the caller
+    asked for model pinning, so an uncheckable stamp must not pass.
+    """
+    recorded_hash = recorded.get("content_hash")
+    expected_hash = expected.get("content_hash")
+    if recorded_hash is not None and expected_hash is not None:
+        if recorded_hash != expected_hash:
+            raise ValueError(
+                f"checkpoint was written under model "
+                f"{recorded_hash[:12]}... (version "
+                f"{recorded.get('version')}), cannot restore under model "
+                f"{expected_hash[:12]}... (version "
+                f"{expected.get('version')}); replaying this state "
+                f"against a different classifier would corrupt scores"
+            )
+        return
+    recorded_version = recorded.get("version")
+    expected_version = expected.get("version")
+    if recorded_version is not None and expected_version is not None:
+        if int(recorded_version) != int(expected_version):
+            raise ValueError(
+                f"checkpoint was written under model version "
+                f"{recorded_version}, cannot restore under version "
+                f"{expected_version}"
+            )
+        return
+    raise ValueError(
+        f"checkpoint carries model stamp {recorded!r} which shares no "
+        f"comparable field with the serving model {expected!r}"
+    )
+
+
 @dataclass(frozen=True)
 class Alert:
     """One item crossing the reporting threshold."""
@@ -227,6 +264,12 @@ class StreamingDetector:
         self.n_duplicates: int = 0
         #: Items dropped by eviction (explicit or LRU).
         self.n_evicted: int = 0
+        #: Optional hook called with every feature matrix (or single
+        #: row) the detector is about to score -- the drift monitor's
+        #: tap into the scoring path.  Pure observation: exceptions are
+        #: the observer's problem, and the hook is never part of
+        #: exported state.
+        self.feature_observer = None
 
     # -- ingestion -----------------------------------------------------
 
@@ -359,6 +402,8 @@ class StreamingDetector:
     ) -> Alert | None:
         self._accumulate_unseen(state)
         features = state.accumulator.to_vector()
+        if self.feature_observer is not None:
+            self.feature_observer(features.reshape(1, -1))
         detector = self.cats.detector
         passes = detector.rule_filter.passes(
             state.sales_volume, len(state.comments), features
@@ -452,6 +497,12 @@ class StreamingDetector:
             for state, _, _ in spans:
                 state.n_accumulated = len(state.comments)
 
+        if eligible and self.feature_observer is not None:
+            self.feature_observer(
+                np.vstack(
+                    [state.accumulator.to_vector() for _, state in eligible]
+                )
+            )
         for item_id, state in eligible:
             features = state.accumulator.to_vector()
             if detector.rule_filter.passes(
@@ -479,7 +530,11 @@ class StreamingDetector:
 
     # -- state export / restore ---------------------------------------------
 
-    def export_state(self, shard: tuple[int, int] | None = None) -> dict:
+    def export_state(
+        self,
+        shard: tuple[int, int] | None = None,
+        model: dict | None = None,
+    ) -> dict:
         """Snapshot the full streaming state as plain Python data.
 
         The structure is JSON-compatible (Python floats round-trip
@@ -493,6 +548,12 @@ class StreamingDetector:
         cannot silently restore another shard's checkpoint (or a
         checkpoint taken under a different shard count, which would
         misroute every item whose hash moved).
+
+        ``model`` -- an identity dict (``content_hash`` and/or
+        ``version``) -- pins the snapshot to the classifier it was
+        accumulated under; restoring it under a different model would
+        replay buffered evidence against a classifier that never saw
+        it, so :meth:`restore_state` fails loudly on a mismatch.
         """
         items = []
         for item_id, state in self._items.items():
@@ -529,12 +590,19 @@ class StreamingDetector:
                 "shard_index": int(index),
                 "shard_count": int(count),
             }
+        if model is not None:
+            state["model"] = {
+                key: model[key]
+                for key in ("version", "content_hash", "source")
+                if model.get(key) is not None
+            }
         return state
 
     def restore_state(
         self,
         data: dict,
         expected_shard: tuple[int, int] | None = None,
+        expected_model: dict | None = None,
     ) -> None:
         """Load a snapshot produced by :meth:`export_state`.
 
@@ -546,12 +614,23 @@ class StreamingDetector:
         -- rejects snapshots stamped for a different partition.  An
         unstamped (pre-sharding) snapshot is accepted only when every
         item in it actually routes to the expected shard.
+
+        ``expected_model`` -- the restoring service's model identity --
+        rejects snapshots stamped for a different model (by content
+        hash when both sides have one, else by registry version), so a
+        restart under a swapped classifier fails loudly instead of
+        silently replaying state against the wrong model.  Unstamped
+        (pre-lifecycle) snapshots are accepted.
         """
         if data.get("state_version") != STATE_VERSION:
             raise ValueError(
                 f"unsupported streaming state version "
                 f"{data.get('state_version')!r}"
             )
+        if expected_model is not None:
+            recorded = data.get("model")
+            if recorded is not None:
+                _check_model_stamp(recorded, expected_model)
         if expected_shard is not None:
             recorded = data.get("shard")
             if recorded is not None:
@@ -625,6 +704,10 @@ class StreamingDetector:
     def is_tracked(self, item_id: int) -> bool:
         """True when *item_id* currently has buffered state."""
         return item_id in self._items
+
+    def tracked_items(self) -> list[int]:
+        """Item ids with buffered state, least-recently-observed first."""
+        return list(self._items)
 
     def probability(self, item_id: int) -> float:
         """Latest scored P(fraud) for *item_id* (0.0 if never scored)."""

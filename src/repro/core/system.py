@@ -41,6 +41,11 @@ class CATS:
         self.analyzer = analyzer
         self.feature_extractor = FeatureExtractor(analyzer)
         self.detector = Detector(self.config.detector, self.config.rules)
+        #: Provenance of a loaded archive (path, content/analyzer
+        #: hashes, feature schema); set by
+        #: :func:`repro.core.persistence.load_cats`, ``None`` for
+        #: systems trained in-process.
+        self.archive_info: dict | None = None
 
     # -- training -----------------------------------------------------------
 

@@ -1,0 +1,57 @@
+"""Model lifecycle: registry, drift monitoring, shadow scoring, replay.
+
+The :mod:`repro.mlops` subsystem manages trained CATS models *over
+time*, on top of the serving stack:
+
+* :mod:`repro.mlops.registry` -- versioned immutable model artifacts
+  with an atomic champion pointer;
+* :mod:`repro.mlops.drift` -- per-feature PSI/KS of live traffic
+  against a training-time reference histogram;
+* :mod:`repro.mlops.shadow` -- challenger models scored on live
+  traffic with bounded disagreement accounting;
+* :mod:`repro.mlops.replay` -- recorded-traffic re-scoring for offline
+  champion-vs-challenger comparison.
+"""
+
+from repro.mlops.drift import (
+    DriftError,
+    DriftMonitor,
+    ReferenceHistogram,
+    ks_from_counts,
+    psi_from_counts,
+)
+from repro.mlops.registry import (
+    ModelRegistry,
+    ModelVersion,
+    RegistryError,
+    is_registry,
+)
+from repro.mlops.replay import (
+    RecordingError,
+    ReplayResult,
+    TrafficRecorder,
+    compare_recording,
+    iter_recording,
+    replay_recording,
+)
+from repro.mlops.shadow import DisagreementLog, ShadowScorer
+
+__all__ = [
+    "DisagreementLog",
+    "DriftError",
+    "DriftMonitor",
+    "ModelRegistry",
+    "ModelVersion",
+    "RecordingError",
+    "ReferenceHistogram",
+    "RegistryError",
+    "ReplayResult",
+    "ShadowScorer",
+    "TrafficRecorder",
+    "compare_recording",
+    "is_registry",
+    "iter_recording",
+    "ks_from_counts",
+    "psi_from_counts",
+    "replay_recording",
+]

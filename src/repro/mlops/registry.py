@@ -1,0 +1,349 @@
+"""Versioned model registry with atomic champion promotion.
+
+The repro used to train once and score forever; the paper's deployment
+story (pre-train on D0, re-validate on D1, apply to the E-platform and
+keep re-training as traffic drifts) needs model *versions*.  The
+registry is a directory of immutable numbered artifacts plus one atomic
+champion pointer::
+
+    <root>/
+        model-0001/
+            artifact/        save_cats archive (+ drift reference)
+            version.json     registry manifest (see below)
+        model-0002/
+            ...
+        champion.json        {"version": N} -- the serving pointer
+
+Every layer reuses the persistence conventions already in the tree:
+archives are written by :func:`repro.core.persistence.save_cats`
+(plain JSON + npz, content-hashed manifests), registry manifests and
+the champion pointer go through :func:`write_json_atomic`, and a new
+version directory is staged as ``model-NNNN.tmp`` and published with
+one ``os.rename`` -- a version either exists completely or not at all,
+and *promotion* is a single atomic pointer swap, so a crash mid-promote
+leaves the old champion serving.
+
+``version.json`` fields: ``version``, ``created_at`` (unix seconds),
+``parent`` (version this one was trained to replace, or null),
+``metrics`` (caller-provided, e.g. ``cross_validate_detector`` output),
+``note``, plus identity copied from the archive manifest
+(``content_hash``, ``analyzer_hash``, ``feature_schema``,
+``format_version``, ``config``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.persistence import (
+    PersistenceError,
+    load_cats,
+    read_manifest,
+    save_cats,
+    write_json_atomic,
+)
+from repro.core.system import CATS
+from repro.mlops.drift import ReferenceHistogram
+
+_PREFIX = "model-"
+_ARTIFACT = "artifact"
+_VERSION_MANIFEST = "version.json"
+_CHAMPION = "champion.json"
+
+
+class RegistryError(RuntimeError):
+    """Raised for missing versions, bad promotions, or corrupt entries."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelVersion:
+    """One immutable registry entry."""
+
+    version: int
+    path: Path
+    created_at: float
+    parent: int | None
+    metrics: dict[str, float]
+    note: str
+    content_hash: str | None
+    analyzer_hash: str | None
+    #: ``"champion"`` when the pointer names this version, else
+    #: ``"challenger"`` (derived at read time, never stored).
+    status: str = "challenger"
+
+    @property
+    def artifact_dir(self) -> Path:
+        return self.path / _ARTIFACT
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (for ``cats models list/show``)."""
+        return {
+            "version": self.version,
+            "status": self.status,
+            "created_at": self.created_at,
+            "parent": self.parent,
+            "metrics": self.metrics,
+            "note": self.note,
+            "content_hash": self.content_hash,
+            "analyzer_hash": self.analyzer_hash,
+            "path": str(self.path),
+        }
+
+
+def is_registry(path: str | Path) -> bool:
+    """Heuristic: does *path* look like a registry root (not a plain
+    ``save_cats`` archive)?  True when it holds a champion pointer or
+    any ``model-NNNN`` entry and is not itself an archive."""
+    path = Path(path)
+    if not path.is_dir() or (path / "manifest.json").exists():
+        return False
+    if (path / _CHAMPION).exists():
+        return True
+    return any(
+        child.is_dir()
+        and child.name.startswith(_PREFIX)
+        and not child.name.endswith(".tmp")
+        for child in path.iterdir()
+    )
+
+
+class ModelRegistry:
+    """Versioned model store under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- discovery -----------------------------------------------------------
+
+    def _version_dirs(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        found = [
+            path
+            for path in self.root.iterdir()
+            if path.is_dir()
+            and path.name.startswith(_PREFIX)
+            and not path.name.endswith(".tmp")
+            and (path / _VERSION_MANIFEST).exists()
+        ]
+        return sorted(found, key=lambda p: p.name)
+
+    def _next_version(self) -> int:
+        dirs = self._version_dirs()
+        if not dirs:
+            return 1
+        return int(dirs[-1].name[len(_PREFIX) :]) + 1
+
+    def _entry_path(self, version: int) -> Path:
+        return self.root / f"{_PREFIX}{int(version):04d}"
+
+    def _read_entry(self, path: Path, champion: int | None) -> ModelVersion:
+        try:
+            data = json.loads(
+                (path / _VERSION_MANIFEST).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"unreadable registry entry {path}: {exc}")
+        version = int(data["version"])
+        return ModelVersion(
+            version=version,
+            path=path,
+            created_at=float(data.get("created_at", 0.0)),
+            parent=(
+                int(data["parent"]) if data.get("parent") is not None else None
+            ),
+            metrics=dict(data.get("metrics") or {}),
+            note=str(data.get("note", "")),
+            content_hash=data.get("content_hash"),
+            analyzer_hash=data.get("analyzer_hash"),
+            status="champion" if version == champion else "challenger",
+        )
+
+    def versions(self) -> list[ModelVersion]:
+        """Every registered version, oldest first."""
+        champion = self.champion_version()
+        return [
+            self._read_entry(path, champion) for path in self._version_dirs()
+        ]
+
+    def get(self, version: int) -> ModelVersion:
+        path = self._entry_path(version)
+        if not (path / _VERSION_MANIFEST).exists():
+            raise RegistryError(
+                f"no version {version} in registry {self.root}"
+            )
+        return self._read_entry(path, self.champion_version())
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        cats: CATS,
+        *,
+        metrics: dict[str, float] | None = None,
+        parent: int | None = None,
+        note: str = "",
+        features: Any = None,
+    ) -> ModelVersion:
+        """Serialize *cats* as the next version; returns its entry.
+
+        ``features`` (the training feature matrix) captures a
+        per-feature drift reference histogram alongside the artifact,
+        so a service loading this version can monitor live traffic
+        against the distribution the model was trained on.
+        """
+        staging = self._save_staging(
+            lambda directory: save_cats(cats, directory), features
+        )
+        return self._publish(staging, metrics, parent, note)
+
+    def register_artifact(
+        self,
+        model_dir: str | Path,
+        *,
+        metrics: dict[str, float] | None = None,
+        parent: int | None = None,
+        note: str = "",
+    ) -> ModelVersion:
+        """Copy an existing ``save_cats`` archive in as the next version.
+
+        The archive is validated (manifest readable) before any copy;
+        a drift reference saved next to it travels along.
+        """
+        model_dir = Path(model_dir)
+        read_manifest(model_dir)  # raises PersistenceError when absent
+        staging = self._save_staging(
+            lambda directory: shutil.copytree(model_dir, directory),
+            features=None,
+        )
+        return self._publish(staging, metrics, parent, note)
+
+    def _save_staging(self, writer, features) -> Path:
+        """Materialize the artifact under a fresh ``.tmp`` staging dir.
+
+        *writer* receives the artifact path and must create it
+        (``save_cats`` and ``shutil.copytree`` both do).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = self.root / f"{_PREFIX}staging.tmp"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        artifact = staging / _ARTIFACT
+        try:
+            writer(artifact)
+            if features is not None:
+                ReferenceHistogram.from_matrix(features).save(artifact)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return staging
+
+    def _publish(
+        self,
+        staging: Path,
+        metrics: dict[str, float] | None,
+        parent: int | None,
+        note: str,
+    ) -> ModelVersion:
+        """Stamp the version manifest and atomically publish the entry."""
+        try:
+            archive = read_manifest(staging / _ARTIFACT)
+            version = self._next_version()
+            manifest = {
+                "version": version,
+                "created_at": time.time(),
+                "parent": parent,
+                "metrics": {
+                    k: float(v) for k, v in (metrics or {}).items()
+                },
+                "note": note,
+                "content_hash": archive.get("content_hash"),
+                "analyzer_hash": archive.get("analyzer_hash"),
+                "feature_schema": archive.get("feature_schema"),
+                "format_version": archive.get("format_version"),
+                "config": archive.get("config"),
+            }
+            write_json_atomic(
+                staging / _VERSION_MANIFEST, manifest, indent=2
+            )
+            final = self._entry_path(version)
+            os.rename(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return self._read_entry(final, self.champion_version())
+
+    # -- champion pointer ----------------------------------------------------
+
+    def champion_version(self) -> int | None:
+        """The promoted version number, or None before any promotion."""
+        pointer = self.root / _CHAMPION
+        if not pointer.exists():
+            return None
+        try:
+            data = json.loads(pointer.read_text(encoding="utf-8"))
+            return int(data["version"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"corrupt champion pointer: {exc}")
+
+    def latest_champion(self) -> ModelVersion | None:
+        """The champion's entry, or None before any promotion."""
+        champion = self.champion_version()
+        if champion is None:
+            return None
+        return self.get(champion)
+
+    def promote(self, version: int) -> ModelVersion:
+        """Atomically point the champion at *version*.
+
+        The version's archive must exist and its manifest must be
+        readable -- a promotion can never install an unservable model.
+        """
+        entry = self.get(version)
+        read_manifest(entry.artifact_dir)
+        write_json_atomic(
+            self.root / _CHAMPION,
+            {"version": int(version), "promoted_at": time.time()},
+            indent=2,
+        )
+        return self.get(version)
+
+    # -- loading -------------------------------------------------------------
+
+    def load_version(self, version: int) -> CATS:
+        """Load one version's CATS system (hash-verified)."""
+        entry = self.get(version)
+        try:
+            cats = load_cats(entry.artifact_dir)
+        except PersistenceError as exc:
+            raise RegistryError(
+                f"version {version} is not loadable: {exc}"
+            ) from exc
+        if cats.archive_info is not None:
+            cats.archive_info["registry_version"] = entry.version
+        return cats
+
+    def load_champion(self) -> tuple[CATS, ModelVersion]:
+        """Load the promoted champion; raises when none exists."""
+        entry = self.latest_champion()
+        if entry is None:
+            raise RegistryError(
+                f"registry {self.root} has no promoted champion"
+            )
+        return self.load_version(entry.version), entry
+
+    def model_info(self, version: int) -> dict[str, Any]:
+        """Identity stamp for serving checkpoints and ``/healthz``."""
+        entry = self.get(version)
+        return {
+            "version": entry.version,
+            "content_hash": entry.content_hash,
+            "source": str(entry.artifact_dir),
+        }

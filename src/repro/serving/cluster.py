@@ -19,7 +19,7 @@ it: streaming state is partitioned by
   that validates requests, partitions ``/ingest`` rows and ``/score``
   ids by item id, fans out to the owning shards over pooled keep-alive
   HTTP connections, and fans ``/stats`` / ``/alerts`` / ``/healthz``
-  back in.  The router holds no detector state; its only job is
+  / ``/drift`` back in.  The router holds no detector state; its only job is
   routing, merging, and cluster-wide telemetry.
 * :class:`ShardCluster` -- lifecycle orchestration: spawn workers,
   bind the router, kill/restart individual shards (the recovery path
@@ -416,6 +416,8 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
             self._handle_stats()
         elif self.path == "/alerts":
             self._handle_alerts()
+        elif self.path == "/drift":
+            self._handle_drift()
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
@@ -472,6 +474,52 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
             else:
                 unavailable.append(index)
         body: dict[str, Any] = {"count": len(alerts), "alerts": alerts}
+        if unavailable:
+            body["shards_unavailable"] = unavailable
+        self._send_json(503 if unavailable else 200, body)
+
+    def _handle_drift(self) -> None:
+        """Fan ``/drift`` across shards; report per-shard + cluster max.
+
+        Shards without drift monitoring answer 404 and are listed as
+        unmonitored rather than failing the whole report; the cluster
+        maxima only cover monitored, reachable shards.
+        """
+        every = {i: None for i in range(self.server.n_shards)}
+        responses = self._fan_out("GET", "/drift", every)
+        shards: list[dict] = []
+        unmonitored: list[int] = []
+        unavailable: list[int] = []
+        max_psi = 0.0
+        max_ks = 0.0
+        n_live_rows = 0
+        monitored = 0
+        for index, status, payload in responses:
+            if status == 200:
+                monitored += 1
+                shards.append(dict(payload, shard_index=index))
+                max_psi = max(max_psi, float(payload.get("max_psi", 0.0)))
+                max_ks = max(max_ks, float(payload.get("max_ks", 0.0)))
+                n_live_rows += int(payload.get("n_live_rows", 0))
+            elif status == 404:
+                unmonitored.append(index)
+            else:
+                unavailable.append(index)
+        if monitored == 0 and not unavailable:
+            self._send_json(
+                404, {"error": "drift monitoring not configured"}
+            )
+            return
+        body: dict[str, Any] = {
+            "n_shards": self.server.n_shards,
+            "shards_monitored": monitored,
+            "max_psi": max_psi,
+            "max_ks": max_ks,
+            "n_live_rows": n_live_rows,
+            "shards": shards,
+        }
+        if unmonitored:
+            body["shards_unmonitored"] = unmonitored
         if unavailable:
             body["shards_unavailable"] = unavailable
         self._send_json(503 if unavailable else 200, body)

@@ -64,7 +64,7 @@ RESPONSE_TIMEOUT_S = 30.0
 #: Known endpoint paths; anything else is counted as ``other`` so
 #: arbitrary request paths cannot grow the telemetry registry.
 _KNOWN_PATHS = frozenset(
-    {"/healthz", "/stats", "/alerts", "/ingest", "/score"}
+    {"/healthz", "/stats", "/alerts", "/drift", "/ingest", "/score"}
 )
 
 #: ``asdict(CommentRecord)`` keys -> Listing-2 row keys, so both row
@@ -186,6 +186,21 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         elif self.path == "/alerts":
             alerts = [dataclasses.asdict(a) for a in service.alerts()]
             self._send_json(200, {"count": len(alerts), "alerts": alerts})
+        elif self.path == "/drift":
+            report = service.drift_report()
+            if report is None:
+                self._send_json(
+                    404, {"error": "drift monitoring not configured"}
+                )
+                return
+            # Bounded-cardinality drift gauges (three fixed names) so
+            # the cluster router's merged telemetry sees drift without
+            # scraping every shard's full per-feature report.
+            telemetry = self.server.telemetry
+            telemetry.gauge("drift_max_psi").set(report["max_psi"])
+            telemetry.gauge("drift_max_ks").set(report["max_ks"])
+            telemetry.gauge("drift_live_rows").set(report["n_live_rows"])
+            self._send_json(200, report)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 

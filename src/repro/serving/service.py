@@ -30,13 +30,18 @@ import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.collector.records import CommentRecord
 from repro.core.streaming import Alert, StreamingDetector, shard_of
 from repro.core.system import CATS
 from repro.serving.batching import MicroBatcher, Request
 from repro.serving.checkpoint import CheckpointError, CheckpointManager
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.mlops.drift import DriftMonitor
+    from repro.mlops.replay import TrafficRecorder
+    from repro.mlops.shadow import ShadowScorer
 
 
 @dataclass
@@ -81,6 +86,27 @@ class DetectionService:
         restores reject checkpoints from another partition, and ingest
         rejects records whose item id routes to a different shard
         (a misrouting front end must fail loudly, not corrupt state).
+    model_info:
+        Identity of the loaded model (``version`` / ``content_hash`` /
+        ``source``), surfaced through ``/healthz`` and ``/stats`` and
+        stamped into every checkpoint -- a restore under a *different*
+        model fails loudly instead of replaying buffered evidence
+        against the wrong classifier.
+    shadow:
+        Optional :class:`~repro.mlops.shadow.ShadowScorer`: a
+        challenger model mirrored onto this service's traffic.  Shadow
+        work runs on the scheduler thread *after* the champion's, its
+        failures only increment ``shadow_errors``, and its results
+        never touch champion responses, alerts or checkpoints.
+    drift_monitor:
+        Optional :class:`~repro.mlops.drift.DriftMonitor`; every
+        feature vector the champion scores is folded into its live
+        histograms (via the streaming detector's ``feature_observer``),
+        read back through ``/drift``.
+    recorder:
+        Optional :class:`~repro.mlops.replay.TrafficRecorder`; every
+        *applied* mutation (ingest/feed/sales) is appended in apply
+        order, so the recording replays to identical state.
     """
 
     def __init__(
@@ -99,6 +125,10 @@ class DetectionService:
         score_chunk_size: int | None = None,
         score_workers: int | None = None,
         shard: tuple[int, int] | None = None,
+        model_info: dict[str, Any] | None = None,
+        shadow: "ShadowScorer | None" = None,
+        drift_monitor: "DriftMonitor | None" = None,
+        recorder: "TrafficRecorder | None" = None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -114,12 +144,20 @@ class DetectionService:
             shard = (index, count)
         self.shard = shard
         self.cats = cats
+        self.model_info = self._resolve_model_info(cats, model_info)
+        self.shadow = shadow
+        self.drift_monitor = drift_monitor
+        self.recorder = recorder
+        self.n_shadow_errors = 0
+        self.n_recorder_errors = 0
         self.stream = StreamingDetector(
             cats,
             rescore_growth=rescore_growth,
             min_comments_to_score=min_comments_to_score,
             max_tracked_items=max_tracked_items,
         )
+        if drift_monitor is not None:
+            self.stream.feature_observer = drift_monitor.observe_matrix
         self.checkpoints = (
             CheckpointManager(checkpoint_dir, keep=checkpoint_keep)
             if checkpoint_dir
@@ -131,7 +169,11 @@ class DetectionService:
             loaded = self.checkpoints.load_latest()
             if loaded is not None:
                 state, path = loaded
-                self.stream.restore_state(state, expected_shard=self.shard)
+                self.stream.restore_state(
+                    state,
+                    expected_shard=self.shard,
+                    expected_model=self.model_info,
+                )
                 self.restored_from = str(path)
         self.score_chunk_size = score_chunk_size
         self.score_workers = score_workers
@@ -147,6 +189,22 @@ class DetectionService:
             queue_depth=queue_depth,
         )
         self._started_at: float | None = None
+
+    @staticmethod
+    def _resolve_model_info(
+        cats: CATS, model_info: dict[str, Any] | None
+    ) -> dict[str, Any] | None:
+        """Explicit identity wins; else fall back to the archive's."""
+        if model_info is not None:
+            return dict(model_info)
+        info = getattr(cats, "archive_info", None)
+        if info and info.get("content_hash"):
+            return {
+                "version": info.get("registry_version"),
+                "content_hash": info["content_hash"],
+                "source": info.get("path"),
+            }
+        return None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -175,6 +233,13 @@ class DetectionService:
         clean = self._batcher.stop(drain=drain, timeout=timeout)
         if clean and self.checkpoints is not None:
             self._write_checkpoint()
+        if clean:
+            # Only a clean stop may close the lifecycle sinks -- with
+            # the scheduler still draining they could be written to.
+            if self.recorder is not None:
+                self.recorder.close()
+            if self.shadow is not None:
+                self.shadow.close()
         return clean
 
     @property
@@ -269,9 +334,25 @@ class DetectionService:
             "uptime_s": round(uptime, 3),
             "restored_from": self.restored_from,
         }
+        if self.model_info is not None:
+            health["model"] = dict(self.model_info)
         if self.shard is not None:
             health["shard_index"], health["shard_count"] = self.shard
         return health
+
+    def drift_report(self) -> dict[str, Any] | None:
+        """Per-feature PSI/KS summary, or None when drift is off.
+
+        Reads the monitor's live histograms without locking: they are
+        only mutated on the scheduler thread, and a torn read of a
+        count array merely wobbles the statistic by one row.
+        """
+        if self.drift_monitor is None:
+            return None
+        report = self.drift_monitor.summary()
+        if self.model_info is not None:
+            report["model"] = dict(self.model_info)
+        return report
 
     def stats(self) -> dict[str, Any]:
         """Queue, batching, streaming, cache and checkpoint counters."""
@@ -291,6 +372,16 @@ class DetectionService:
         )
         if self.shard is not None:
             stats["shard_index"], stats["shard_count"] = self.shard
+        if self.model_info is not None:
+            stats["model"] = dict(self.model_info)
+        if self.shadow is not None:
+            stats["shadow"] = self.shadow.stats()
+            stats["shadow_errors"] = self.n_shadow_errors
+        if self.recorder is not None:
+            stats.update(self.recorder.stats())
+            stats["recorder_errors"] = self.n_recorder_errors
+        if self.drift_monitor is not None:
+            stats["drift_live_rows"] = self.drift_monitor.n_live_rows
         # Packed-predictor activity: confirms scoring goes through the
         # single-arena engine (repro.ml.inference), not a fallback.
         stats.update(self.cats.detector.packed_scoring_stats())
@@ -330,17 +421,20 @@ class DetectionService:
             try:
                 if request.kind == "ingest":
                     request.future.set_result(self._do_ingest(request.payload))
+                    self._mirror_feed(request.payload, [])
                 elif request.kind == "feed":
                     comments, sales = request.payload
                     request.future.set_result(
                         self._do_feed(comments, sales)
                     )
+                    self._mirror_feed(comments, sales)
                 elif request.kind == "sales":
                     item_id, volume = request.payload
                     self._check_shard_ownership([int(item_id)])
                     self.stream.update_sales(item_id, volume)
                     self._n_sales_updates += 1
                     request.future.set_result(None)
+                    self._mirror_feed([], [(int(item_id), int(volume))])
                 else:
                     raise ValueError(
                         f"unknown request kind {request.kind!r}"
@@ -429,6 +523,40 @@ class DetectionService:
             request.future.set_result(
                 {item_id: results[item_id] for item_id in request.payload}
             )
+        self._shadow_compare(results)
+
+    # -- lifecycle mirroring (scheduler thread only) -------------------------
+
+    def _mirror_feed(
+        self,
+        comments: Sequence[CommentRecord],
+        sales: list[tuple[int, int]],
+    ) -> None:
+        """Mirror one *applied* mutation into the recorder and shadow.
+
+        Runs after the champion's state change succeeded and its future
+        resolved; never raises -- a broken disk or a crashing challenger
+        increments an error counter and the champion keeps serving.
+        """
+        if self.recorder is not None:
+            try:
+                self.recorder.record(list(comments), sales)
+            except Exception:  # noqa: BLE001 - isolate the recorder
+                self.n_recorder_errors += 1
+        if self.shadow is not None:
+            try:
+                self.shadow.observe_feed(list(comments), sales)
+            except Exception:  # noqa: BLE001 - isolate the shadow
+                self.n_shadow_errors += 1
+
+    def _shadow_compare(self, results: dict[int, float]) -> None:
+        """Mirror a champion scoring batch into the challenger."""
+        if self.shadow is None or not results:
+            return
+        try:
+            self.shadow.compare(results)
+        except Exception:  # noqa: BLE001 - isolate the shadow
+            self.n_shadow_errors += 1
 
     def _progress_marker(self) -> tuple[int, int]:
         """State-advancement fingerprint since the last checkpoint.
@@ -462,7 +590,9 @@ class DetectionService:
             return
         try:
             self.checkpoints.save(
-                self.stream.export_state(shard=self.shard)
+                self.stream.export_state(
+                    shard=self.shard, model=self.model_info
+                )
             )
         except (OSError, CheckpointError) as exc:
             # A failing disk must not take the scoring path down; the

@@ -137,3 +137,89 @@ class TestSvmRoundtrip:
             cats.detect(items).fraud_probability,
             loaded.detect(items).fraud_probability,
         )
+
+
+class TestArchiveIdentity:
+    def test_manifest_carries_fingerprint_and_schema(self, archive):
+        from repro.core.features import FEATURE_NAMES
+
+        manifest = json.loads((archive / "manifest.json").read_text())
+        assert len(manifest["content_hash"]) == 64
+        assert len(manifest["analyzer_hash"]) == 64
+        assert manifest["feature_schema"] == list(FEATURE_NAMES)
+
+    def test_load_attaches_archive_info(self, archive):
+        manifest = json.loads((archive / "manifest.json").read_text())
+        loaded = load_cats(archive)
+        assert loaded.archive_info["content_hash"] == (
+            manifest["content_hash"]
+        )
+        assert loaded.archive_info["analyzer_hash"] == (
+            manifest["analyzer_hash"]
+        )
+        assert loaded.archive_info["path"] == str(archive)
+
+    def test_fingerprint_deterministic(self, archive):
+        from repro.core.persistence import archive_fingerprint
+
+        assert archive_fingerprint(archive) == archive_fingerprint(archive)
+
+    def test_tampered_component_rejected(self, archive, tmp_path):
+        import shutil
+
+        broken = tmp_path / "tampered"
+        shutil.copytree(archive, broken)
+        lexicon = broken / "lexicon.json"
+        lexicon.write_text(lexicon.read_text() + " ")
+        with pytest.raises(PersistenceError, match="content hash"):
+            load_cats(broken)
+
+    def test_verify_hash_opt_out(self, archive, tmp_path):
+        import shutil
+
+        broken = tmp_path / "tampered_ok"
+        shutil.copytree(archive, broken)
+        lexicon = broken / "lexicon.json"
+        lexicon.write_text(lexicon.read_text() + " ")
+        assert load_cats(broken, verify_hash=False) is not None
+
+    def test_foreign_feature_schema_rejected(self, archive, tmp_path):
+        import shutil
+
+        broken = tmp_path / "schema"
+        shutil.copytree(archive, broken)
+        manifest = json.loads((broken / "manifest.json").read_text())
+        manifest["feature_schema"] = ["somethingElse"] + (
+            manifest["feature_schema"][1:]
+        )
+        (broken / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="feature schema"):
+            load_cats(broken)
+
+    def test_legacy_manifest_loads_unchecked(self, archive, tmp_path):
+        import shutil
+
+        legacy = tmp_path / "legacy"
+        shutil.copytree(archive, legacy)
+        manifest = json.loads((legacy / "manifest.json").read_text())
+        del manifest["content_hash"]
+        del manifest["feature_schema"]
+        (legacy / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_cats(legacy)
+        assert loaded.archive_info["content_hash"] is None
+
+    def test_analyzer_hash_stable_across_detector_retrain(
+        self, archive, analyzer, small_config, d0_small, tmp_path
+    ):
+        """Retraining only the detector keeps the analyzer hash (the
+        shadow scorer keys feature-extractor sharing on it)."""
+        retrained = CATS(analyzer, config=small_config)
+        half = len(d0_small.items) // 2
+        retrained.fit(d0_small.items[:half], d0_small.labels[:half])
+        save_cats(retrained, tmp_path / "retrained")
+        first = json.loads((archive / "manifest.json").read_text())
+        second = json.loads(
+            (tmp_path / "retrained" / "manifest.json").read_text()
+        )
+        assert first["analyzer_hash"] == second["analyzer_hash"]
+        assert first["content_hash"] != second["content_hash"]

@@ -390,3 +390,83 @@ class TestEviction:
         stream.observe_many(feed)  # full replay under eviction pressure
         alerted = [alert.item_id for alert in stream.alerts]
         assert len(alerted) == len(set(alerted))
+
+
+class TestModelStamp:
+    """Checkpoints pin the model that wrote them (restore under a
+    different model must fail loudly, not silently mis-score)."""
+
+    HASH_A = "a" * 64
+    HASH_B = "b" * 64
+
+    def _state(self, stream, model):
+        return stream.export_state(model=model)
+
+    def test_stamp_recorded(self, stream):
+        state = self._state(stream, {"version": 3, "content_hash": self.HASH_A})
+        assert state["model"] == {
+            "version": 3, "content_hash": self.HASH_A
+        }
+
+    def test_none_fields_omitted(self, stream):
+        state = stream.export_state(
+            model={"version": None, "content_hash": self.HASH_A, "source": None}
+        )
+        assert state["model"] == {"content_hash": self.HASH_A}
+
+    def test_matching_hash_restores(self, stream, trained_cats):
+        state = self._state(stream, {"content_hash": self.HASH_A})
+        StreamingDetector(trained_cats).restore_state(
+            state, expected_model={"content_hash": self.HASH_A}
+        )
+
+    def test_hash_mismatch_rejected(self, stream, trained_cats):
+        state = self._state(
+            stream, {"version": 1, "content_hash": self.HASH_A}
+        )
+        with pytest.raises(ValueError, match="cannot restore under"):
+            StreamingDetector(trained_cats).restore_state(
+                state,
+                expected_model={"version": 2, "content_hash": self.HASH_B},
+            )
+
+    def test_hash_authoritative_over_version(self, stream, trained_cats):
+        """Same registry version number in two different registries:
+        hashes still disagree and must win."""
+        state = self._state(
+            stream, {"version": 1, "content_hash": self.HASH_A}
+        )
+        with pytest.raises(ValueError):
+            StreamingDetector(trained_cats).restore_state(
+                state,
+                expected_model={"version": 1, "content_hash": self.HASH_B},
+            )
+
+    def test_version_fallback_when_no_hashes(self, stream, trained_cats):
+        state = self._state(stream, {"version": 1})
+        with pytest.raises(ValueError, match="version"):
+            StreamingDetector(trained_cats).restore_state(
+                state, expected_model={"version": 2}
+            )
+        StreamingDetector(trained_cats).restore_state(
+            state, expected_model={"version": 1}
+        )
+
+    def test_uncomparable_stamp_rejected(self, stream, trained_cats):
+        state = self._state(stream, {"version": 1})
+        with pytest.raises(ValueError):
+            StreamingDetector(trained_cats).restore_state(
+                state, expected_model={"content_hash": self.HASH_A}
+            )
+
+    def test_unstamped_snapshot_accepted(self, stream, trained_cats):
+        """Pre-mlops checkpoints carry no stamp and still restore."""
+        state = stream.export_state()
+        assert "model" not in state
+        StreamingDetector(trained_cats).restore_state(
+            state, expected_model={"content_hash": self.HASH_A}
+        )
+
+    def test_no_expectation_ignores_stamp(self, stream, trained_cats):
+        state = self._state(stream, {"content_hash": self.HASH_A})
+        StreamingDetector(trained_cats).restore_state(state)

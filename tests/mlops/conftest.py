@@ -1,0 +1,27 @@
+"""Shared fixtures for the model-lifecycle tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import CATS
+from tests.serving.conftest import interleaved_feed
+
+
+@pytest.fixture(scope="session")
+def feed(taobao_platform):
+    return interleaved_feed(taobao_platform)
+
+
+@pytest.fixture(scope="session")
+def feed_item_ids(feed):
+    return sorted({record.item_id for record in feed})
+
+
+@pytest.fixture(scope="session")
+def challenger_cats(analyzer, small_config, d0_small) -> CATS:
+    """A challenger: same analyzer, detector trained on half of D0."""
+    half = len(d0_small.items) // 2
+    cats = CATS(analyzer, config=small_config)
+    cats.fit(d0_small.items[:half], d0_small.labels[:half])
+    return cats

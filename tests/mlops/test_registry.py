@@ -1,0 +1,171 @@
+"""Tests for repro.mlops.registry."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import save_cats
+from repro.mlops.drift import ReferenceHistogram
+from repro.mlops.registry import ModelRegistry, RegistryError, is_registry
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory, trained_cats, d0_small):
+    """A registry with two versions; v1 promoted."""
+    root = tmp_path_factory.mktemp("registry")
+    reg = ModelRegistry(root)
+    features = trained_cats.extract_features(d0_small.items[:120])
+    reg.register(
+        trained_cats,
+        metrics={"f1": 0.91},
+        note="initial",
+        features=features,
+    )
+    reg.register(trained_cats, parent=1, note="retrained")
+    reg.promote(1)
+    return reg
+
+
+class TestRegistration:
+    def test_versions_numbered_monotonically(self, registry):
+        assert [v.version for v in registry.versions()] == [1, 2]
+
+    def test_version_dirs_on_disk(self, registry):
+        assert (registry.root / "model-0001" / "artifact").is_dir()
+        assert (registry.root / "model-0002" / "version.json").exists()
+
+    def test_no_staging_leftovers(self, registry):
+        assert not list(registry.root.glob("*.tmp"))
+
+    def test_identity_copied_from_archive(self, registry):
+        entry = registry.get(1)
+        assert entry.content_hash and len(entry.content_hash) == 64
+        assert entry.analyzer_hash and len(entry.analyzer_hash) == 64
+        # Same system registered twice -> identical archive bytes.
+        assert entry.content_hash == registry.get(2).content_hash
+
+    def test_metadata_recorded(self, registry):
+        entry = registry.get(2)
+        assert entry.parent == 1
+        assert entry.note == "retrained"
+        assert registry.get(1).metrics == {"f1": 0.91}
+
+    def test_drift_reference_travels_with_artifact(self, registry):
+        assert ReferenceHistogram.exists(registry.get(1).artifact_dir)
+        assert not ReferenceHistogram.exists(registry.get(2).artifact_dir)
+
+    def test_register_artifact_copies_archive(
+        self, registry, trained_cats, tmp_path
+    ):
+        model_dir = tmp_path / "exported"
+        save_cats(trained_cats, model_dir)
+        entry = ModelRegistry(registry.root).register_artifact(
+            model_dir, note="imported"
+        )
+        assert entry.version == 3
+        assert entry.content_hash == registry.get(1).content_hash
+
+    def test_register_artifact_rejects_non_archive(self, registry, tmp_path):
+        from repro.core.persistence import PersistenceError
+
+        with pytest.raises(PersistenceError):
+            registry.register_artifact(tmp_path)
+
+
+class TestChampion:
+    def test_champion_pointer(self, registry):
+        assert registry.champion_version() == 1
+        assert registry.latest_champion().version == 1
+
+    def test_status_derived(self, registry):
+        assert registry.get(1).status == "champion"
+        assert registry.get(2).status == "challenger"
+
+    def test_promote_unknown_version_raises(self, registry):
+        with pytest.raises(RegistryError):
+            registry.promote(99)
+
+    def test_promote_swaps_pointer(self, tmp_path, trained_cats):
+        reg = ModelRegistry(tmp_path / "reg")
+        reg.register(trained_cats)
+        reg.register(trained_cats)
+        reg.promote(1)
+        reg.promote(2)
+        assert reg.champion_version() == 2
+        assert reg.get(1).status == "challenger"
+
+    def test_empty_registry_has_no_champion(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "empty")
+        assert reg.champion_version() is None
+        assert reg.latest_champion() is None
+        with pytest.raises(RegistryError):
+            reg.load_champion()
+
+    def test_corrupt_pointer_raises(self, tmp_path, trained_cats):
+        reg = ModelRegistry(tmp_path / "reg")
+        reg.register(trained_cats)
+        (reg.root / "champion.json").write_text("not json")
+        with pytest.raises(RegistryError):
+            reg.champion_version()
+
+
+class TestLoading:
+    def test_load_version_scores_identically(
+        self, registry, trained_cats, d0_small
+    ):
+        loaded = registry.load_version(1)
+        X = trained_cats.extract_features(d0_small.items[:40])
+        np.testing.assert_array_equal(
+            loaded.detector.predict_proba(X),
+            trained_cats.detector.predict_proba(X),
+        )
+
+    def test_load_version_stamps_archive_info(self, registry):
+        loaded = registry.load_version(2)
+        assert loaded.archive_info["registry_version"] == 2
+        assert loaded.archive_info["content_hash"]
+
+    def test_load_champion_returns_entry(self, registry):
+        cats, entry = registry.load_champion()
+        assert entry.version == 1
+        assert cats.archive_info["registry_version"] == 1
+
+    def test_get_unknown_version_raises(self, registry):
+        with pytest.raises(RegistryError):
+            registry.get(42)
+
+    def test_model_info_shape(self, registry):
+        info = registry.model_info(1)
+        assert info["version"] == 1
+        assert info["content_hash"] == registry.get(1).content_hash
+        assert "model-0001" in info["source"]
+
+
+class TestIsRegistry:
+    def test_registry_root_detected(self, registry):
+        assert is_registry(registry.root)
+
+    def test_plain_archive_is_not(self, trained_cats, tmp_path):
+        save_cats(trained_cats, tmp_path / "model")
+        assert not is_registry(tmp_path / "model")
+
+    def test_missing_dir_is_not(self, tmp_path):
+        assert not is_registry(tmp_path / "nope")
+
+    def test_empty_dir_is_not(self, tmp_path):
+        assert not is_registry(tmp_path)
+
+
+class TestTamperDetection:
+    def test_tampered_artifact_fails_load(self, tmp_path, trained_cats):
+        reg = ModelRegistry(tmp_path / "reg")
+        entry = reg.register(trained_cats)
+        detector = entry.artifact_dir / "detector.json"
+        data = json.loads(detector.read_text())
+        data["threshold"] = 0.0
+        detector.write_text(json.dumps(data))
+        with pytest.raises(RegistryError):
+            reg.load_version(entry.version)

@@ -123,9 +123,16 @@ class TestShardStamp:
 
 
 @pytest.fixture(scope="module")
-def model_dir(trained_cats, tmp_path_factory):
+def model_dir(trained_cats, d0_small, tmp_path_factory):
     directory = tmp_path_factory.mktemp("cluster-model")
     save_cats(trained_cats, directory)
+    # A drift reference next to the archive turns on per-shard drift
+    # monitoring, so the router's /drift fan-in is exercised too.
+    from repro.mlops import ReferenceHistogram
+
+    ReferenceHistogram.from_matrix(
+        trained_cats.extract_features(d0_small.items[:150])
+    ).save(directory)
     return directory
 
 
@@ -322,3 +329,57 @@ class TestClusterServing:
         assert "shard" in body["error"]
         _, after = worker.request("GET", "/stats")
         assert after["records_observed"] == before["records_observed"]
+
+
+class TestClusterDrift:
+    """Router /drift fan-in (runs against the shared module cluster,
+    after the end-to-end test has pushed traffic through it)."""
+
+    def test_drift_fans_in_across_shards(self, cluster, router, feed):
+        # Make sure both shards have observed something.
+        status, __ = router(
+            "POST",
+            "/ingest",
+            {"comments": [dataclasses.asdict(r) for r in feed[:60]]},
+        )
+        assert status == 200
+        status, payload = router("GET", "/drift")
+        assert status == 200
+        assert payload["n_shards"] == N_SHARDS
+        assert payload["shards_monitored"] == N_SHARDS
+        assert len(payload["shards"]) == N_SHARDS
+        assert payload["n_live_rows"] == sum(
+            shard["n_live_rows"] for shard in payload["shards"]
+        )
+        assert payload["max_psi"] == pytest.approx(
+            max(shard["max_psi"] for shard in payload["shards"])
+        )
+        for shard in payload["shards"]:
+            assert shard["n_live_rows"] > 0
+            assert shard["model"]["content_hash"]
+
+    def test_unmonitored_cluster_is_404(
+        self, trained_cats, tmp_path_factory
+    ):
+        plain_model = tmp_path_factory.mktemp("plain-model")
+        save_cats(trained_cats, plain_model)
+        instance = ShardCluster(
+            plain_model,
+            1,
+            worker_args=("--max-delay-ms", "2"),
+        )
+        instance.start()
+        try:
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                instance.host, instance.port, timeout=60
+            )
+            conn.request("GET", "/drift")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            assert response.status == 404
+            assert "not configured" in payload["error"]
+        finally:
+            instance.stop()

@@ -315,3 +315,70 @@ class TestAtomicAcknowledgement:
             time.sleep(0.01)
         assert service.stream.n_observed == 0
         assert service._n_sales_updates == 0
+
+
+class TestDriftEndpoint:
+    def test_unconfigured_is_404(self, served):
+        __, client = served
+        status, payload = client.request("GET", "/drift")
+        assert status == 404
+        assert "not configured" in payload["error"]
+
+    def test_drift_report_and_gauges(self, trained_cats, feed):
+        import http.client
+
+        import numpy as np
+
+        from repro.core.streaming import StreamingDetector
+        from repro.mlops import DriftMonitor, ReferenceHistogram
+
+        captured = []
+        reference_stream = StreamingDetector(trained_cats, rescore_growth=1.0)
+        reference_stream.feature_observer = (
+            lambda X: captured.append(np.array(X))
+        )
+        reference_stream.observe_many(feed)
+        monitor = DriftMonitor(
+            ReferenceHistogram.from_matrix(np.vstack(captured))
+        )
+        service = DetectionService(
+            trained_cats,
+            rescore_growth=1.0,
+            max_delay_ms=2,
+            drift_monitor=monitor,
+            model_info={"version": 4, "content_hash": "c" * 64},
+        ).start()
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server_address[1], timeout=30
+            )
+            conn.request(
+                "POST",
+                "/ingest",
+                body=json.dumps(
+                    {"comments": [dataclasses.asdict(r) for r in feed]}
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            ingest_response = conn.getresponse()
+            ingest_response.read()
+            assert ingest_response.status == 200
+            conn.request("GET", "/drift")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            assert response.status == 200
+            assert payload["n_live_rows"] > 0
+            # Live traffic IS the reference traffic here: no drift.
+            assert payload["max_psi"] == 0.0
+            assert payload["model"]["version"] == 4
+            gauges = server.telemetry.snapshot()["gauges"]
+            assert gauges["drift_max_psi"] == 0.0
+            assert gauges["drift_live_rows"] == payload["n_live_rows"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()

@@ -93,3 +93,97 @@ class TestEvaluateCommand:
         out = capsys.readouterr().out
         assert "Precision" in out
         assert "overall fraud items" in out
+
+
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory, model_dir):
+    """A registry with the CLI model registered twice; v1 promoted."""
+    root = tmp_path_factory.mktemp("cli_registry")
+    main(["models", "register", str(root), str(model_dir), "--note", "v1"])
+    main(["models", "register", str(root), str(model_dir), "--parent", "1"])
+    main(["models", "promote", str(root), "1"])
+    return root
+
+
+class TestModelsCommand:
+    def test_list(self, registry_dir, capsys):
+        rc = main(["models", "list", str(registry_dir)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["champion"] == 1
+        assert [v["version"] for v in payload["versions"]] == [1, 2]
+        assert payload["versions"][0]["status"] == "champion"
+
+    def test_show(self, registry_dir, capsys):
+        rc = main(["models", "show", str(registry_dir), "2"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 2
+        assert payload["parent"] == 1
+        assert len(payload["content_hash"]) == 64
+        assert payload["feature_schema"]
+
+    def test_show_unknown_version_exits(self, registry_dir):
+        with pytest.raises(SystemExit):
+            main(["models", "show", str(registry_dir), "42"])
+
+    def test_promote_swaps(self, registry_dir, capsys):
+        main(["models", "promote", str(registry_dir), "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"promoted": 2, "previous": 1}
+        main(["models", "promote", str(registry_dir), "1"])
+        capsys.readouterr()
+
+    def test_register_non_archive_exits(self, registry_dir, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["models", "register", str(registry_dir), str(tmp_path)])
+
+
+class TestReplayCommand:
+    @pytest.fixture(scope="class")
+    def recording(self, tmp_path_factory, trained_cats, taobao_platform):
+        from repro.mlops import TrafficRecorder
+        from tests.serving.conftest import interleaved_feed
+
+        path = tmp_path_factory.mktemp("cli_rec") / "traffic.jsonl"
+        recorder = TrafficRecorder(path)
+        recorder.record(interleaved_feed(taobao_platform, n_items=10))
+        recorder.close()
+        return path
+
+    def test_single_model_replay(self, model_dir, recording, capsys):
+        rc = main(["replay", str(model_dir), str(recording)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_items"] > 0
+        assert "flagged" in payload
+
+    def test_registry_champion_replay(self, registry_dir, recording, capsys):
+        rc = main(["replay", str(registry_dir), str(recording)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"]["version"] == 1
+
+    def test_challenger_comparison(self, registry_dir, recording, capsys):
+        rc = main(
+            [
+                "replay", str(registry_dir), str(recording),
+                "--challenger-version", "2", "--top", "3",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        # v1 and v2 are byte-identical archives: zero disagreement.
+        assert payload["comparison"]["flipped_verdicts"] == 0
+        assert payload["comparison"]["max_abs_delta"] == 0.0
+        assert payload["challenger"]["model"]["version"] == 2
+
+    def test_missing_recording_exits(self, model_dir, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["replay", str(model_dir), str(tmp_path / "no.jsonl")])
+
+    def test_version_on_plain_dir_exits(self, model_dir, recording):
+        with pytest.raises(SystemExit):
+            main(
+                ["replay", str(model_dir), str(recording), "--version", "1"]
+            )
