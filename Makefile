@@ -10,7 +10,8 @@ TOY_MODEL := examples/toy_model
 
 .PHONY: verify test bench-smoke bench-smoke-serving \
 	bench-smoke-pipeline bench-smoke-training bench-smoke-inference \
-	bench-smoke-cluster bench-smoke-shadow bench serve serve-cluster
+	bench-smoke-cluster bench-smoke-shadow bench-smoke-e2e bench \
+	serve serve-cluster
 
 verify:
 	sh scripts/verify.sh
@@ -38,6 +39,9 @@ bench-smoke-cluster:
 
 bench-smoke-shadow:
 	python benchmarks/bench_shadow.py --quick
+
+bench-smoke-e2e:
+	python benchmarks/bench_e2e.py --quick
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

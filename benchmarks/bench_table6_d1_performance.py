@@ -12,10 +12,9 @@ deployment path uses; wall time and peak RSS are recorded alongside
 the metrics.
 """
 
-import resource
-import sys
 import time
 
+from benchutil import peak_rss_mib
 from conftest import write_result
 
 from repro.analysis.reporting import render_table
@@ -25,16 +24,6 @@ from repro.ml.metrics import precision_recall_f1
 #: Rows per scoring chunk -- the deployment default (bounds the scoring
 #: working set; the report is identical to unchunked).
 SCORE_CHUNK_SIZE = 65536
-
-
-def _peak_rss_mib() -> float:
-    """Peak resident set size of this process, in MiB.
-
-    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
-    """
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    scale = 1024.0 if sys.platform == "darwin" else 1.0
-    return peak * scale / 1024.0
 
 
 def test_table6_d1_performance(benchmark, cats, d1, d1_features):
@@ -80,7 +69,7 @@ def test_table6_d1_performance(benchmark, cats, d1, d1_features):
         f"\n\nreported={report.n_reported} true_fraud={d1.n_fraud} "
         f"filter={report.filter_report}"
         f"\nscoring: chunk_size={SCORE_CHUNK_SIZE} "
-        f"wall={wall_s:.3f}s peak_rss={_peak_rss_mib():.1f}MiB"
+        f"wall={wall_s:.3f}s peak_rss={peak_rss_mib():.1f}MiB"
     )
     write_result("table6_d1_performance", text)
 

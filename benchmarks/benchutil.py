@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Keep this dependency-free (stdlib only): it is imported both by
+standalone ``python benchmarks/bench_*.py`` runs and by the pytest
+benchmark entries.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def peak_rss_mib() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS; every
+    benchmark must report the platform-corrected number the same way,
+    so this is the one place the correction lives.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 if sys.platform == "darwin" else 1.0
+    return peak * scale / 1024.0

@@ -30,6 +30,9 @@ python benchmarks/bench_inference.py --quick
 echo "==> shadow-scoring overhead smoke bench (--quick)"
 python benchmarks/bench_shadow.py --quick
 
+echo "==> end-to-end D1 smoke bench (--quick)"
+python benchmarks/bench_e2e.py --quick
+
 echo "==> tier-1 test suite"
 python -m pytest -x -q
 

@@ -1,6 +1,6 @@
 """Command-line interface for the CATS reproduction.
 
-Seven subcommands cover the deployment workflow the paper describes:
+Eight subcommands cover the deployment workflow the paper describes:
 
 ``cats train``
     Train the semantic analyzer and pre-train the detector on a
@@ -10,9 +10,16 @@ Seven subcommands cover the deployment workflow the paper describes:
 ``cats crawl``
     Crawl a simulated platform's public website into a JSONL dataset
     directory (shop/item/comment records).
+``cats analyze``
+    Run a crawled dataset through a model's semantic analyzer once and
+    persist the result as a columnar comment store (interned token
+    arena + per-comment stat columns); later ``detect --store`` runs
+    and service restarts slice the store instead of re-segmenting.
 ``cats detect``
     Load a trained model and a crawled dataset; report fraud items to
-    stdout (or a file) with their P(fraud).
+    stdout (or a file) with their P(fraud).  With ``--store`` the
+    feature matrix comes from a columnar store built by ``analyze``
+    (bit-identical to live analysis, without the analysis cost).
 ``cats evaluate``
     Load a trained model, build a labeled D1-style dataset, and print
     the Table VI-style precision/recall/F-score report.
@@ -153,18 +160,96 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.columnar import ColumnarCommentStore, append_comments
+
+    cats = load_cats(args.model_dir)
+    store = DatasetStore.load(args.data_dir)
+    if not store.comments:
+        raise SystemExit(f"no comments found in {args.data_dir}")
+    analyzer_hash = (getattr(cats, "archive_info", None) or {}).get(
+        "analyzer_hash"
+    )
+    columnar = ColumnarCommentStore(
+        cats.analyzer.interner, analyzer_hash=analyzer_hash
+    )
+    appended = append_comments(
+        columnar,
+        cats.feature_extractor,
+        store.comments,
+        chunk_size=args.chunk_size,
+    )
+    generation = columnar.save(args.store_dir)
+    print(
+        json.dumps(
+            {
+                "analyzed": appended,
+                "store_dir": args.store_dir,
+                "generation": generation,
+                "store": columnar.stats(),
+            }
+        )
+    )
+    return 0
+
+
+def _load_columnar_features(
+    cats, items: list, store_dir: str
+):
+    """Feature matrix for *items* from a persisted columnar store.
+
+    Memory-mapped, analyzer-hash-checked, and coverage-checked: every
+    item's stored comment count must equal its dataset comment count,
+    otherwise the matrix would silently describe a different dataset.
+    """
+    from repro.core.columnar import ColumnarCommentStore, ColumnarStoreError
+
+    analyzer_hash = (getattr(cats, "archive_info", None) or {}).get(
+        "analyzer_hash"
+    )
+    try:
+        columnar = ColumnarCommentStore.load(
+            store_dir, mode="mmap", expected_analyzer_hash=analyzer_hash
+        )
+    except ColumnarStoreError as exc:
+        raise SystemExit(str(exc))
+    item_col = columnar.column("item_id")
+    stored: dict[int, int] = {}
+    for item_id in item_col:
+        stored[int(item_id)] = stored.get(int(item_id), 0) + 1
+    for item in items:
+        expected = len(item.comments)
+        got = stored.get(int(item.item_id), 0)
+        if got != expected:
+            raise SystemExit(
+                f"columnar store at {store_dir} holds {got} comments for "
+                f"item {item.item_id} but the dataset has {expected}; "
+                f"re-run `cats analyze` against this dataset"
+            )
+    return columnar.feature_matrix([item.item_id for item in items])
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     cats = load_cats(args.model_dir)
     store = DatasetStore.load(args.data_dir)
     items = store.crawled_items()
     if not items:
         raise SystemExit(f"no items found in {args.data_dir}")
-    report = cats.detect(
-        items,
-        n_workers=args.workers,
-        chunk_size=args.chunk_size,
-        score_workers=args.score_workers,
-    )
+    if args.store:
+        features = _load_columnar_features(cats, items, args.store)
+        report = cats.detect_with_features(
+            items,
+            features,
+            chunk_size=args.chunk_size,
+            score_workers=args.score_workers,
+        )
+    else:
+        report = cats.detect(
+            items,
+            n_workers=args.workers,
+            chunk_size=args.chunk_size,
+            score_workers=args.score_workers,
+        )
     rows = []
     for idx in report.reported_indices():
         item = items[idx]
@@ -356,6 +441,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     recorder = TrafficRecorder(args.record) if args.record else None
+    columnar_store = None
+    if args.columnar_store:
+        from repro.core.columnar import (
+            ColumnarCommentStore,
+            ColumnarStoreError,
+        )
+
+        analyzer_hash = (getattr(cats, "archive_info", None) or {}).get(
+            "analyzer_hash"
+        )
+        store_path = Path(args.columnar_store)
+        try:
+            if (store_path / "store.json").exists():
+                # Attach before anything else interns text, so stored
+                # ids replay onto identical live ids.
+                columnar_store = ColumnarCommentStore.attach(
+                    store_path,
+                    cats.analyzer,
+                    expected_analyzer_hash=analyzer_hash,
+                )
+                print(
+                    f"columnar store attached from {store_path} "
+                    f"({columnar_store.n_comments} analyzed comments, "
+                    f"generation {columnar_store.generation})",
+                    file=sys.stderr,
+                )
+            else:
+                columnar_store = ColumnarCommentStore(
+                    cats.analyzer.interner, analyzer_hash=analyzer_hash
+                )
+                columnar_store.directory = store_path
+                print(
+                    f"columnar store will be created at {store_path}",
+                    file=sys.stderr,
+                )
+        except ColumnarStoreError as exc:
+            raise SystemExit(str(exc))
     shadow = None
     if args.shadow_model or args.shadow_version is not None:
         # --shadow-version alone shadows a sibling version from the
@@ -396,6 +518,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shadow=shadow,
         drift_monitor=drift_monitor,
         recorder=recorder,
+        columnar_store=columnar_store,
     )
     if service.restored_from:
         print(
@@ -443,6 +566,11 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--record/--shadow-log are per-process files; run them on "
             "single-process serves (one per shard) instead"
+        )
+    if args.columnar_store:
+        raise SystemExit(
+            "--columnar-store is a per-process directory; run it on "
+            "single-process serves (one store per shard) instead"
         )
     # Tuning flags are forwarded verbatim so every shard worker runs
     # the same micro-batching configuration as a single-process serve.
@@ -560,9 +688,30 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--seed", type=int, default=0)
     crawl.set_defaults(func=_cmd_crawl)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyze a crawled dataset into a columnar comment store",
+    )
+    analyze.add_argument("model_dir", help="trained model directory")
+    analyze.add_argument("data_dir", help="crawled dataset directory")
+    analyze.add_argument(
+        "store_dir", help="columnar store output directory"
+    )
+    analyze.add_argument(
+        "--chunk-size", type=int, default=8192,
+        help="analyze comments in batches of this size (bounds peak "
+        "memory; the store content is identical for any chunking)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
     detect = sub.add_parser("detect", help="detect frauds in crawled data")
     detect.add_argument("model_dir", help="trained model directory")
     detect.add_argument("data_dir", help="crawled dataset directory")
+    detect.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="take the feature matrix from this columnar store (built "
+        "by `cats analyze`) instead of re-analyzing the dataset",
+    )
     detect.add_argument(
         "--output", default=None, help="write the JSON report here"
     )
@@ -709,6 +858,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--checkpoint-dir", default=None,
         help="durable streaming-state checkpoint directory",
+    )
+    serve.add_argument(
+        "--columnar-store", default=None, metavar="DIR",
+        help="persist every comment analysis to this columnar store "
+        "(created on first checkpoint if absent; an existing store is "
+        "attached so restarts skip re-analysis)",
     )
     serve.add_argument(
         "--checkpoint-every", type=int, default=500,

@@ -9,11 +9,13 @@ three servers, so persistence is part of the substrate.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict
 from pathlib import Path
 
+import json
+
 from repro.collector.cleaning import clean_comments, clean_items, clean_shops
+from repro.core.persistence import write_jsonl_atomic
 from repro.collector.crawler import CrawlResult
 from repro.collector.records import (
     CommentRecord,
@@ -70,7 +72,12 @@ class DatasetStore:
     # -- persistence --------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Write shops/items/comments as JSONL files under *directory*."""
+        """Write shops/items/comments as JSONL files under *directory*.
+
+        Each file is written atomically (staged + renamed), so a crash
+        mid-save leaves the previous complete file rather than a
+        truncated one that :meth:`load` would silently accept.
+        """
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         for name, records in (
@@ -78,10 +85,10 @@ class DatasetStore:
             ("items", self.items),
             ("comments", self.comments),
         ):
-            with open(path / f"{name}.jsonl", "w", encoding="utf-8") as fh:
-                for record in records:
-                    fh.write(json.dumps(asdict(record), ensure_ascii=False))
-                    fh.write("\n")
+            write_jsonl_atomic(
+                path / f"{name}.jsonl",
+                (asdict(record) for record in records),
+            )
 
     @classmethod
     def load(cls, directory: str | Path) -> "DatasetStore":

@@ -45,6 +45,11 @@ class SemanticAnalyzer:
         self.lexicon = lexicon
         self._interner: TokenInterner | None = None
         self._interner_key: tuple | None = None
+        #: Lifetime count of :meth:`segment` calls.  Every analysis
+        #: path (scalar, batched, cached-miss) segments through here,
+        #: so a rehydration path that claims to skip re-analysis can be
+        #: held to it: the counter must not move.
+        self.n_segmentations = 0
 
     @classmethod
     def train(
@@ -138,6 +143,7 @@ class SemanticAnalyzer:
 
     def segment(self, text: str) -> list[str]:
         """Word-segment one raw comment."""
+        self.n_segmentations += 1
         return self.segmenter.segment(text)
 
     def comment_sentiment(self, text: str) -> float:

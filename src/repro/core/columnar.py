@@ -1,0 +1,803 @@
+"""Append-only columnar store for analyzed comments.
+
+Everything upstream of the detector works on *analyzed* comments: the
+segmentation interned to ``int32`` ids plus a dozen per-comment scalars
+(:class:`~repro.core.features.CommentStats`).  Until now those lived
+only as Python objects inside per-item buffers, which means (a) every
+restart re-runs segmentation and NB sentiment over the full history and
+(b) rescoring an item walks Python object graphs.  This module extends
+the PackedEnsemble philosophy -- flat arrays, one numpy pass -- upstream
+to the analysis layer:
+
+* one flat ``int32`` **token arena** holding every comment's interned
+  ids back to back, with an ``int64`` ``offsets`` array (length
+  ``n_comments + 1``) marking each comment's slice;
+* **parallel stat columns** (one value per comment): ``item_id`` /
+  ``comment_id`` / char count / lexicon counts as integers, sentiment /
+  entropy / punctuation ratio / bigram term / append timestamp as
+  ``float64``.
+
+Rescoring an item becomes pure array slicing: gather the item's rows,
+segment-sum the stat columns, count distinct token ids in the gathered
+arena ranges -- no per-comment Python objects.  The resulting feature
+matrix is **bit-identical** to the live
+:class:`~repro.core.features.ItemAccumulator` fold: integer sums are
+exact in any order, and float columns are summed with a masked k-step
+loop that replays each item's left-to-right ``float64`` additions in
+the accumulator's exact order (numpy's ``reduceat``/``sum`` use
+pairwise summation and are *not* bit-identical -- see
+``_segmented_sequential_sum``).
+
+Persistence and crash safety
+----------------------------
+
+``save`` writes one raw ``.npy`` per column (mappable, unlike npz)
+through the atomic writers in :mod:`repro.core.persistence`, the
+interner snapshot beside them (word list as JSON, derived masks as
+npz), and the ``store.json`` manifest **last**.  The manifest records
+the committed ``n_comments`` / ``n_tokens`` / vocabulary size; readers
+slice every array down to the manifest's counts.  Because the store is
+append-only, a newer column file is always a superset of an older one,
+so any mix of file generations a crash can leave behind is consistent:
+the committed prefix named by whichever manifest survived is always
+readable.  ``load(..., mode="mmap")`` opens the columns with
+``np.load(mmap_mode="r")``, so a restart rehydrates tens of millions of
+analyzed comments without paging them in or re-running a single
+segmentation (pin that with
+:attr:`~repro.core.analyzer.SemanticAnalyzer.n_segmentations`).
+
+Interner lifecycle
+------------------
+
+Token ids only mean something relative to the interner that assigned
+them, so the interner snapshot travels with the arena.  Two ways to
+reopen a store:
+
+* :meth:`ColumnarCommentStore.load` with no interner builds a *frozen*
+  :meth:`TokenInterner.from_arrays` interner from the snapshot --
+  self-contained, read-mostly, rejects unseen words;
+* :meth:`ColumnarCommentStore.attach` replays the stored word list into
+  a live analyzer's interner (:meth:`TokenInterner.adopt_words`), which
+  must assign identical ids -- the store then keeps growing under that
+  analyzer, and new analyses append directly.
+
+A store optionally records the ``analyzer_hash`` of the archive it was
+built under; ``load``/``attach`` reject a mismatched hash instead of
+decoding one model's token ids against another's vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.features import N_FEATURES, CommentStats
+from repro.core.interning import TokenInterner
+from repro.core.persistence import (
+    write_json_atomic,
+    write_npy_atomic,
+    write_npz_atomic,
+)
+
+#: Version tag for the on-disk layout.
+STORE_VERSION = 1
+
+#: Manifest filename; written last, so its counts define the committed
+#: prefix of every other file.
+MANIFEST_NAME = "store.json"
+
+#: Stat columns persisted one ``.npy`` each, in manifest order.
+#: ``n_words`` is *not* a column -- it is ``np.diff(offsets)``.
+_INT_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("item_id", np.int64),
+    ("comment_id", np.int64),
+    ("n_chars", np.int32),
+    ("n_positive_distinct", np.int32),
+    ("pos_neg_delta", np.int32),
+    ("n_punctuation", np.int32),
+    ("n_positive_bigrams", np.int32),
+)
+_FLOAT_COLUMNS: tuple[str, ...] = (
+    "sentiment",
+    "entropy",
+    "punctuation_ratio",
+    "bigram_ratio_term",
+    "timestamp",
+)
+_COLUMN_DTYPES: dict[str, Any] = {
+    **{name: dtype for name, dtype in _INT_COLUMNS},
+    **{name: np.float64 for name in _FLOAT_COLUMNS},
+}
+_COLUMN_NAMES: tuple[str, ...] = tuple(_COLUMN_DTYPES)
+
+
+class ColumnarStoreError(RuntimeError):
+    """Raised on invalid store operations or a corrupt on-disk store."""
+
+
+# -- array kernels -----------------------------------------------------------
+
+
+def _segmented_sequential_sum(
+    values: np.ndarray, starts: np.ndarray, lens: np.ndarray
+) -> np.ndarray:
+    """Per-segment left-to-right ``float64`` sums.
+
+    ``out[i]`` equals the result of the Python loop
+    ``acc = 0.0; for v in values[starts[i]:starts[i]+lens[i]]: acc += v``
+    *bit-for-bit*: step ``k`` of the loop adds every segment's ``k``-th
+    element with one vectorized ``+``, so each segment sees exactly the
+    accumulator's addition sequence.  ``np.add.reduceat`` / ``np.sum``
+    use pairwise summation and round differently -- they must not be
+    used for the float feature columns.
+    """
+    out = np.zeros(len(starts), dtype=np.float64)
+    if len(lens) == 0:
+        return out
+    max_len = int(lens.max()) if len(lens) else 0
+    values = np.asarray(values, dtype=np.float64)
+    for k in range(max_len):
+        mask = lens > k
+        out[mask] = out[mask] + values[starts[mask] + k]
+    return out
+
+
+def gather_ranges(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``values[starts[i]:ends[i]]`` for all ``i``.
+
+    Fully vectorized (cumsum-of-deltas over per-range step arrays);
+    zero-length ranges contribute nothing.  Works on memory-mapped
+    *values* -- only the addressed pages are read.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lens = ends - starts
+    if np.any(lens < 0):
+        raise ValueError("gather_ranges: end precedes start")
+    keep = lens > 0
+    s, l = starts[keep], lens[keep]
+    if s.size == 0:
+        return np.empty(0, dtype=np.asarray(values).dtype)
+    total = int(l.sum())
+    steps = np.ones(total, dtype=np.int64)
+    heads = np.zeros(len(s), dtype=np.int64)
+    heads[1:] = np.cumsum(l[:-1])
+    steps[heads[0]] = s[0]
+    if len(s) > 1:
+        steps[heads[1:]] = s[1:] - (s[:-1] + l[:-1] - 1)
+    return np.asarray(values)[np.cumsum(steps)]
+
+
+def _distinct_per_segment(
+    tokens: np.ndarray, seg: np.ndarray, n_segments: int
+) -> np.ndarray:
+    """Distinct token count per segment (order-free, exact).
+
+    Sorts (segment, token) pairs and counts boundaries; distinct ids
+    equal distinct words because interning is a bijection.
+    """
+    if tokens.size == 0:
+        return np.zeros(n_segments, dtype=np.int64)
+    order = np.lexsort((tokens, seg))
+    st = seg[order]
+    tt = tokens[order]
+    new = np.ones(len(tt), dtype=bool)
+    new[1:] = (st[1:] != st[:-1]) | (tt[1:] != tt[:-1])
+    return np.bincount(st[new], minlength=n_segments)
+
+
+class _Growable:
+    """Amortized-append ``np.ndarray`` (capacity doubling)."""
+
+    __slots__ = ("data", "n")
+
+    def __init__(self, dtype: Any, capacity: int = 1024) -> None:
+        self.data = np.zeros(capacity, dtype=dtype)
+        self.n = 0
+
+    def extend(self, values: np.ndarray | Sequence) -> None:
+        values = np.asarray(values, dtype=self.data.dtype)
+        needed = self.n + len(values)
+        capacity = len(self.data)
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=self.data.dtype)
+            grown[: self.n] = self.data[: self.n]
+            self.data = grown
+        self.data[self.n : needed] = values
+        self.n = needed
+
+    @property
+    def view(self) -> np.ndarray:
+        return self.data[: self.n]
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class ColumnarCommentStore:
+    """Append-only columnar storage for analyzed comments.
+
+    Build empty against an interner (usually a live analyzer's), feed
+    it every :class:`CommentStats` batch the extractor produces via
+    :meth:`append`, and :meth:`save` it beside the model.  Reopen with
+    :meth:`load` (read-mostly, memory-mapped, frozen interner) or
+    :meth:`attach` (appendable, bound to a live analyzer).  See the
+    module docstring for layout and crash-safety guarantees.
+    """
+
+    def __init__(
+        self,
+        interner: TokenInterner,
+        analyzer_hash: str | None = None,
+    ) -> None:
+        self._interner = interner
+        self.analyzer_hash = analyzer_hash
+        self.mode = "memory"
+        self.generation = 0
+        self.directory: Path | None = None
+        self._tokens = _Growable(np.int32, capacity=4096)
+        offsets = _Growable(np.int64)
+        offsets.extend([0])
+        self._offsets = offsets
+        self._cols: dict[str, _Growable] = {
+            name: _Growable(dtype) for name, dtype in _COLUMN_DTYPES.items()
+        }
+        #: (stable row order grouped by item id, sorted item ids) --
+        #: rebuilt lazily after appends.
+        self._index: tuple[np.ndarray, np.ndarray] | None = None
+        # telemetry counters (surfaced via serving /stats)
+        self.n_appended_rows = 0
+        self.n_rehydrated_rows = 0
+        self.n_saves = 0
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def interner(self) -> TokenInterner:
+        """The interner whose id space the token arena is encoded in."""
+        return self._interner
+
+    @property
+    def n_comments(self) -> int:
+        return self._cols["item_id"].n if self.mode == "memory" else len(
+            self._cols["item_id"]
+        )
+
+    @property
+    def n_tokens(self) -> int:
+        return self._tokens.n if self.mode == "memory" else len(self._tokens)
+
+    def __len__(self) -> int:
+        return self.n_comments
+
+    def tokens(self) -> np.ndarray:
+        """The committed token arena (a view; do not mutate)."""
+        return self._tokens.view if self.mode == "memory" else self._tokens
+
+    def offsets(self) -> np.ndarray:
+        """Arena offsets, length ``n_comments + 1`` (a view)."""
+        return (
+            self._offsets.view if self.mode == "memory" else self._offsets
+        )
+
+    def column(self, name: str) -> np.ndarray:
+        """One committed stat column by name (a view)."""
+        col = self._cols[name]
+        return col.view if self.mode == "memory" else col
+
+    def token_ids(self, row: int) -> np.ndarray:
+        """The interned segmentation of one stored comment."""
+        offsets = self.offsets()
+        return np.asarray(
+            self.tokens()[offsets[row] : offsets[row + 1]], dtype=np.int32
+        )
+
+    # -- appending ---------------------------------------------------------
+
+    def append(
+        self,
+        records: Sequence,
+        stats_list: Sequence[CommentStats],
+        timestamps: Sequence[float] | None = None,
+    ) -> int:
+        """Append analyzed comments; returns the first new row index.
+
+        *records* supplies identity and raw text (anything with
+        ``item_id`` / ``comment_id`` / ``content`` attributes --
+        collector :class:`~repro.collector.records.CommentRecord` and
+        simulator :class:`~repro.ecommerce.entities.Comment` both
+        qualify); *stats_list* the matching
+        :class:`~repro.core.features.CommentStats` from the extractor's
+        interned path, whose ``token_ids`` must be encoded by this
+        store's interner.  *timestamps* defaults to now.
+        """
+        if self.mode != "memory":
+            raise ColumnarStoreError(
+                "store is memory-mapped read-only; reopen with "
+                "mode='memory' or attach() to append"
+            )
+        if len(records) != len(stats_list):
+            raise ColumnarStoreError(
+                f"{len(records)} records but {len(stats_list)} stats"
+            )
+        if not records:
+            return self.n_comments
+        for stats in stats_list:
+            if stats.token_ids is None:
+                raise ColumnarStoreError(
+                    "CommentStats.token_ids is None (scalar-path stats); "
+                    "only the extractor's interned path can feed the "
+                    "columnar store"
+                )
+        first_row = self.n_comments
+        if timestamps is None:
+            timestamps = np.full(len(records), time.time(), dtype=np.float64)
+        elif len(timestamps) != len(records):
+            raise ColumnarStoreError(
+                f"{len(records)} records but {len(timestamps)} timestamps"
+            )
+        lens = np.fromiter(
+            (len(s.token_ids) for s in stats_list),
+            dtype=np.int64,
+            count=len(stats_list),
+        )
+        last = self._offsets.view[-1]
+        self._offsets.extend(last + np.cumsum(lens))
+        if lens.sum():
+            self._tokens.extend(
+                np.concatenate([s.token_ids for s in stats_list])
+            )
+        self._cols["item_id"].extend(
+            [int(r.item_id) for r in records]
+        )
+        self._cols["comment_id"].extend(
+            [int(r.comment_id) for r in records]
+        )
+        self._cols["n_chars"].extend(
+            [len(r.content) for r in records]
+        )
+        for name, attr in (
+            ("n_positive_distinct", "n_positive_distinct"),
+            ("pos_neg_delta", "pos_neg_delta"),
+            ("n_punctuation", "n_punctuation"),
+            ("n_positive_bigrams", "n_positive_bigrams"),
+            ("sentiment", "sentiment"),
+            ("entropy", "entropy"),
+            ("punctuation_ratio", "punctuation_ratio"),
+            ("bigram_ratio_term", "bigram_ratio_term"),
+        ):
+            self._cols[name].extend(
+                [getattr(s, attr) for s in stats_list]
+            )
+        self._cols["timestamp"].extend(timestamps)
+        self.n_appended_rows += len(records)
+        self._index = None
+        return first_row
+
+    # -- item access -------------------------------------------------------
+
+    def _item_index(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._index is None:
+            item_col = np.asarray(self.column("item_id"))
+            order = np.argsort(item_col, kind="stable")
+            self._index = (order, item_col[order])
+        return self._index
+
+    def item_rows(self, item_id: int) -> np.ndarray:
+        """Row indices of one item's comments, in append order."""
+        order, sorted_items = self._item_index()
+        left = np.searchsorted(sorted_items, item_id, side="left")
+        right = np.searchsorted(sorted_items, item_id, side="right")
+        return order[left:right]
+
+    def feature_matrix(self, item_ids: Iterable[int]) -> np.ndarray:
+        """Table II feature rows for *item_ids*, from columns alone.
+
+        Row ``i`` is bit-identical (``np.array_equal``) to folding item
+        ``i``'s stored comments through a fresh
+        :class:`~repro.core.features.ItemAccumulator` in append order
+        -- which is itself what live extraction computes.  Items with
+        no stored comments get the all-zero row, matching
+        ``ItemAccumulator.to_vector`` on empty.
+
+        No segmentation, sentiment scoring or per-comment object
+        materialization happens here: the whole computation is gathers
+        and segment reductions over the committed columns.
+        """
+        item_ids = np.asarray(list(item_ids), dtype=np.int64)
+        n_items = len(item_ids)
+        matrix = np.zeros((n_items, N_FEATURES), dtype=np.float64)
+        if n_items == 0 or self.n_comments == 0:
+            return matrix
+        order, sorted_items = self._item_index()
+        left = np.searchsorted(sorted_items, item_ids, side="left")
+        right = np.searchsorted(sorted_items, item_ids, side="right")
+        lens = right - left
+        rows = gather_ranges(order, left, right)
+        self.n_rehydrated_rows += int(len(rows))
+        if len(rows) == 0:
+            return matrix
+        starts = np.zeros(n_items, dtype=np.int64)
+        starts[1:] = np.cumsum(lens[:-1])
+        seg = np.repeat(np.arange(n_items), lens)
+
+        offsets = np.asarray(self.offsets())
+        n_words_rows = offsets[rows + 1] - offsets[rows]
+
+        def int_sum(values: np.ndarray) -> np.ndarray:
+            # Exact for integer-valued weights below 2**53.
+            return np.bincount(
+                seg, weights=values.astype(np.float64), minlength=n_items
+            )
+
+        def seq_sum(name: str) -> np.ndarray:
+            return _segmented_sequential_sum(
+                np.asarray(self.column(name))[rows], starts, lens
+            )
+
+        g = lambda name: np.asarray(self.column(name))[rows]
+        sum_pos = int_sum(g("n_positive_distinct"))
+        sum_delta = int_sum(g("pos_neg_delta"))
+        sum_punct = int_sum(g("n_punctuation"))
+        sum_bigrams = int_sum(g("n_positive_bigrams"))
+        total_words = int_sum(n_words_rows)
+
+        tokens = gather_ranges(self.tokens(), offsets[rows], offsets[rows + 1])
+        token_seg = np.repeat(seg, n_words_rows)
+        distinct = _distinct_per_segment(
+            tokens, token_seg, n_items
+        ).astype(np.float64)
+
+        n = lens.astype(np.float64)
+        safe_n = np.where(lens > 0, n, 1.0)
+        safe_tw = np.where(total_words > 0, total_words, 1.0)
+        matrix[:, 0] = sum_pos / safe_n
+        matrix[:, 1] = sum_delta / safe_n
+        matrix[:, 2] = np.where(total_words > 0, distinct / safe_tw, 0.0)
+        matrix[:, 3] = seq_sum("sentiment") / safe_n
+        matrix[:, 4] = seq_sum("entropy") / safe_n
+        matrix[:, 5] = total_words / safe_n
+        matrix[:, 6] = total_words
+        matrix[:, 7] = sum_punct
+        matrix[:, 8] = seq_sum("punctuation_ratio") / safe_n
+        matrix[:, 9] = sum_bigrams / safe_n
+        matrix[:, 10] = seq_sum("bigram_ratio_term") / safe_n
+        matrix[lens == 0] = 0.0
+        return matrix
+
+    def rehydrate_stats(self, rows: Iterable[int]) -> list[CommentStats]:
+        """Reconstruct :class:`CommentStats` for stored rows.
+
+        Field-for-field equal to the objects the extractor produced at
+        append time (``word_counts`` decoded through the interner), but
+        built from columns -- no segmentation or sentiment model runs.
+        """
+        rows = np.asarray(list(rows), dtype=np.int64)
+        offsets = self.offsets()
+        tokens = self.tokens()
+        columns = {
+            name: np.asarray(self.column(name))
+            for name in (
+                "n_positive_distinct",
+                "pos_neg_delta",
+                "n_punctuation",
+                "n_positive_bigrams",
+                "sentiment",
+                "entropy",
+                "punctuation_ratio",
+                "bigram_ratio_term",
+            )
+        }
+        out = []
+        for row in rows:
+            ids = np.asarray(
+                tokens[offsets[row] : offsets[row + 1]], dtype=np.int32
+            )
+            unique, counts = np.unique(ids, return_counts=True)
+            word_counts = Counter(
+                dict(
+                    zip(
+                        self._interner.decode(unique),
+                        (int(c) for c in counts),
+                    )
+                )
+            )
+            out.append(
+                CommentStats(
+                    n_words=int(ids.shape[0]),
+                    word_counts=word_counts,
+                    n_positive_distinct=int(
+                        columns["n_positive_distinct"][row]
+                    ),
+                    pos_neg_delta=int(columns["pos_neg_delta"][row]),
+                    sentiment=float(columns["sentiment"][row]),
+                    entropy=float(columns["entropy"][row]),
+                    n_punctuation=int(columns["n_punctuation"][row]),
+                    punctuation_ratio=float(
+                        columns["punctuation_ratio"][row]
+                    ),
+                    n_positive_bigrams=int(
+                        columns["n_positive_bigrams"][row]
+                    ),
+                    bigram_ratio_term=float(
+                        columns["bigram_ratio_term"][row]
+                    ),
+                    token_ids=ids,
+                )
+            )
+        self.n_rehydrated_rows += len(rows)
+        return out
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, directory: str | Path | None = None) -> int:
+        """Persist the committed state; returns the new generation.
+
+        Column files and the interner snapshot are written (atomically,
+        one by one) *before* the manifest, whose counts define the
+        committed prefix -- see the module docstring for why any crash
+        point leaves a readable store.  *directory* is sticky: pass it
+        once, subsequent saves reuse it.
+        """
+        if self.mode != "memory":
+            raise ColumnarStoreError(
+                "a memory-mapped store is read-only; it cannot save over "
+                "its own backing files"
+            )
+        if directory is not None:
+            self.directory = Path(directory)
+        if self.directory is None:
+            raise ColumnarStoreError("no target directory for save()")
+        path = self.directory
+        path.mkdir(parents=True, exist_ok=True)
+        n_comments = self.n_comments
+        n_tokens = self.n_tokens
+        interner_state = self._interner.export_state()
+        vocab_size = len(interner_state["words"])
+        max_id = int(self.tokens().max()) if n_tokens else -1
+        if max_id >= vocab_size:
+            raise ColumnarStoreError(
+                f"token arena references id {max_id} but the interner "
+                f"only holds {vocab_size} words; the store was fed ids "
+                f"from a different interner"
+            )
+        write_npy_atomic(path / "tokens.npy", self.tokens())
+        write_npy_atomic(path / "offsets.npy", self.offsets())
+        for name in _COLUMN_NAMES:
+            write_npy_atomic(path / f"{name}.npy", self.column(name))
+        write_json_atomic(
+            path / "interner.json", {"words": interner_state["words"]}
+        )
+        write_npz_atomic(
+            path / "interner.npz",
+            positive_mask=interner_state["positive_mask"],
+            negative_mask=interner_state["negative_mask"],
+            sentiment_ids=interner_state["sentiment_ids"],
+        )
+        self.generation += 1
+        manifest = {
+            "store_version": STORE_VERSION,
+            "generation": self.generation,
+            "n_comments": n_comments,
+            "n_tokens": n_tokens,
+            "vocab_size": vocab_size,
+            "analyzer_hash": self.analyzer_hash,
+            "columns": list(_COLUMN_NAMES),
+        }
+        write_json_atomic(path / MANIFEST_NAME, manifest, indent=2)
+        self.n_saves += 1
+        return self.generation
+
+    @staticmethod
+    def read_manifest(directory: str | Path) -> dict[str, Any]:
+        """The committed manifest under *directory*."""
+        manifest_path = Path(directory) / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ColumnarStoreError(
+                f"no columnar store at {directory} (missing "
+                f"{MANIFEST_NAME})"
+            )
+        return json.loads(manifest_path.read_text(encoding="utf-8"))
+
+    @classmethod
+    def load(
+        cls,
+        directory: str | Path,
+        mode: str = "mmap",
+        interner: TokenInterner | None = None,
+        expected_analyzer_hash: str | None = None,
+    ) -> "ColumnarCommentStore":
+        """Open a persisted store.
+
+        ``mode="mmap"`` (default) memory-maps the committed columns --
+        read-only, near-zero load cost, ideal for restart rehydration
+        and offline rescoring.  ``mode="memory"`` copies them into
+        growable arrays so appending can continue.  Without *interner*
+        a frozen one is rebuilt from the snapshot; pass a live
+        analyzer's via :meth:`attach` instead of calling this directly
+        when the store should keep growing under analysis.
+        """
+        if mode not in ("mmap", "memory"):
+            raise ValueError(f"mode must be 'mmap' or 'memory', got {mode!r}")
+        path = Path(directory)
+        manifest = cls.read_manifest(path)
+        if manifest.get("store_version") != STORE_VERSION:
+            raise ColumnarStoreError(
+                f"unsupported store version "
+                f"{manifest.get('store_version')!r}"
+            )
+        recorded_hash = manifest.get("analyzer_hash")
+        if (
+            expected_analyzer_hash is not None
+            and recorded_hash is not None
+            and recorded_hash != expected_analyzer_hash
+        ):
+            raise ColumnarStoreError(
+                f"store at {path} was built under analyzer "
+                f"{recorded_hash[:12]}..., cannot open under analyzer "
+                f"{expected_analyzer_hash[:12]}...; its token ids would "
+                f"decode against the wrong vocabulary"
+            )
+        n_comments = int(manifest["n_comments"])
+        n_tokens = int(manifest["n_tokens"])
+        vocab_size = int(manifest["vocab_size"])
+        mmap_mode = "r" if mode == "mmap" else None
+
+        def load_array(name: str, needed: int) -> np.ndarray:
+            file_path = path / f"{name}.npy"
+            try:
+                array = np.load(file_path, mmap_mode=mmap_mode)
+            except (OSError, ValueError) as exc:
+                raise ColumnarStoreError(
+                    f"cannot read store column {file_path}: {exc}"
+                ) from exc
+            if len(array) < needed:
+                raise ColumnarStoreError(
+                    f"store column {name} holds {len(array)} entries but "
+                    f"the manifest commits {needed}; the store is corrupt"
+                )
+            return array[:needed]
+
+        tokens = load_array("tokens", n_tokens)
+        offsets = load_array("offsets", n_comments + 1)
+        if int(offsets[0]) != 0 or int(offsets[-1]) != n_tokens:
+            raise ColumnarStoreError(
+                f"store offsets span [{int(offsets[0])}, "
+                f"{int(offsets[-1])}] but the manifest commits "
+                f"{n_tokens} arena tokens; the store is corrupt"
+            )
+        columns = {
+            name: load_array(name, n_comments) for name in _COLUMN_NAMES
+        }
+        if interner is None:
+            interner = cls._load_interner(path, vocab_size)
+        elif len(interner) < vocab_size:
+            raise ColumnarStoreError(
+                f"provided interner holds {len(interner)} words but the "
+                f"store needs {vocab_size}"
+            )
+        store = cls(interner, analyzer_hash=recorded_hash)
+        store.directory = path
+        store.generation = int(manifest["generation"])
+        if mode == "mmap":
+            store.mode = "mmap"
+            store._tokens = tokens  # type: ignore[assignment]
+            store._offsets = offsets  # type: ignore[assignment]
+            store._cols = columns  # type: ignore[assignment]
+        else:
+            store._tokens.extend(np.asarray(tokens))
+            store._offsets.extend(np.asarray(offsets[1:]))
+            for name in _COLUMN_NAMES:
+                store._cols[name].extend(np.asarray(columns[name]))
+        return store
+
+    @staticmethod
+    def _load_interner(path: Path, vocab_size: int) -> TokenInterner:
+        try:
+            words = json.loads(
+                (path / "interner.json").read_text(encoding="utf-8")
+            )["words"]
+            arrays = np.load(path / "interner.npz")
+        except (OSError, ValueError, KeyError) as exc:
+            raise ColumnarStoreError(
+                f"cannot read interner snapshot under {path}: {exc}"
+            ) from exc
+        if len(words) < vocab_size:
+            raise ColumnarStoreError(
+                f"interner snapshot holds {len(words)} words but the "
+                f"manifest commits {vocab_size}; the store is corrupt"
+            )
+        return TokenInterner.from_arrays(
+            words[:vocab_size],
+            arrays["positive_mask"][:vocab_size],
+            arrays["negative_mask"][:vocab_size],
+            arrays["sentiment_ids"][:vocab_size],
+        )
+
+    @classmethod
+    def attach(
+        cls,
+        directory: str | Path,
+        analyzer,
+        expected_analyzer_hash: str | None = None,
+    ) -> "ColumnarCommentStore":
+        """Open a store for continued growth under a live analyzer.
+
+        Replays the stored vocabulary into *analyzer*'s interner (each
+        word must land on its stored id -- attach before the analyzer
+        interns anything else) and loads the columns appendable.  The
+        returned store shares the analyzer's interner, so everything
+        the analyzer's extractor produces can be appended directly.
+        """
+        path = Path(directory)
+        manifest = cls.read_manifest(path)
+        vocab_size = int(manifest["vocab_size"])
+        try:
+            words = json.loads(
+                (path / "interner.json").read_text(encoding="utf-8")
+            )["words"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise ColumnarStoreError(
+                f"cannot read interner snapshot under {path}: {exc}"
+            ) from exc
+        try:
+            analyzer.interner.adopt_words(words[:vocab_size])
+        except ValueError as exc:
+            raise ColumnarStoreError(str(exc)) from exc
+        return cls.load(
+            path,
+            mode="memory",
+            interner=analyzer.interner,
+            expected_analyzer_hash=expected_analyzer_hash,
+        )
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters and gauges for the serving ``/stats`` endpoint."""
+        return {
+            "mode": self.mode,
+            "comments": self.n_comments,
+            "tokens": self.n_tokens,
+            "arena_bytes": int(np.asarray(self.tokens()).nbytes),
+            "vocab_size": len(self._interner),
+            "generation": self.generation,
+            "appended_rows": self.n_appended_rows,
+            "rehydrated_rows": self.n_rehydrated_rows,
+            "saves": self.n_saves,
+        }
+
+
+def append_comments(
+    store: ColumnarCommentStore,
+    extractor,
+    records: Sequence,
+    chunk_size: int = 8192,
+) -> int:
+    """Analyze *records* through *extractor* and append them in chunks.
+
+    The chunked batching keeps peak memory flat on multi-million-comment
+    datasets while still amortizing sentiment into one NB call per
+    chunk.  Returns the number of rows appended.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    appended = 0
+    for start in range(0, len(records), chunk_size):
+        chunk = records[start : start + chunk_size]
+        stats_list = extractor.comment_stats_many(
+            [record.content for record in chunk]
+        )
+        store.append(chunk, stats_list)
+        appended += len(chunk)
+    return appended

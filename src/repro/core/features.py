@@ -121,6 +121,14 @@ class CommentStats:
     #: ``#pos-2grams / (|C_j| - 1)`` -- the per-comment ngram-ratio
     #: term (0.0 for comments shorter than two words).
     bigram_ratio_term: float
+    #: The interned segmentation behind these stats (``int32``), kept
+    #: so downstream sinks (the columnar comment store) can persist the
+    #: token arena without re-segmenting.  ``None`` on the scalar
+    #: reference path; excluded from equality so cached stats compare
+    #: by analysis result.
+    token_ids: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def from_ids(
@@ -172,6 +180,7 @@ class CommentStats:
             punctuation_ratio=punctuation_ratio(text),
             n_positive_bigrams=n_bigrams_pos,
             bigram_ratio_term=bigram_ratio_term,
+            token_ids=ids,
         )
 
 

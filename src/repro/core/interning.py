@@ -112,6 +112,12 @@ class TokenInterner:
             setattr(self, name, grown)
 
     def _intern_new(self, word: str) -> int:
+        if getattr(self, "_frozen", False):
+            raise KeyError(
+                f"frozen interner cannot assign an id to new word "
+                f"{word!r}; rebuild from a live analyzer to extend the "
+                f"vocabulary"
+            )
         idx = len(self._id_to_word)
         self._grow(idx + 1)
         self._word_to_id[word] = idx
@@ -153,3 +159,96 @@ class TokenInterner:
         """Map ids back to their words."""
         id_to_word = self._id_to_word
         return [id_to_word[i] for i in ids]
+
+    # -- serialization -----------------------------------------------------
+
+    @property
+    def words(self) -> list[str]:
+        """All interned words in id order (a copy; safe to mutate)."""
+        return list(self._id_to_word)
+
+    def export_state(self) -> dict[str, object]:
+        """Id-ordered words plus trimmed derived tables.
+
+        Everything the columnar comment store needs to persist beside
+        its token arena: the word list pins the id assignment, and the
+        trimmed masks/sentiment ids let :meth:`from_arrays` rebuild a
+        frozen interner without the original lexicons or NB vocabulary.
+        """
+        n = len(self._id_to_word)
+        return {
+            "words": list(self._id_to_word),
+            "positive_mask": self._positive_mask[:n].copy(),
+            "negative_mask": self._negative_mask[:n].copy(),
+            "sentiment_ids": self._sentiment_ids[:n].copy(),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        words: Sequence[str],
+        positive_mask: np.ndarray,
+        negative_mask: np.ndarray,
+        sentiment_ids: np.ndarray,
+    ) -> "TokenInterner":
+        """Rebuild a *frozen* interner from :meth:`export_state` arrays.
+
+        The result decodes and feature-computes exactly like the
+        original but rejects new words -- it carries no lexicons or
+        sentiment vocabulary, so interning anything unseen would
+        silently mis-tag it.  Use it for analyzer-free rehydration of a
+        persisted store.
+        """
+        n = len(words)
+        if not (
+            len(positive_mask) == len(negative_mask)
+            == len(sentiment_ids) == n
+        ):
+            raise ValueError(
+                "interner arrays disagree on length: "
+                f"{n} words, {len(positive_mask)}/{len(negative_mask)} "
+                f"mask entries, {len(sentiment_ids)} sentiment ids"
+            )
+        interner = cls.__new__(cls)
+        interner._positive = frozenset()
+        interner._negative = frozenset()
+        interner._sentiment_vocabulary = None
+        interner._id_to_word = list(words)
+        interner._word_to_id = {w: i for i, w in enumerate(words)}
+        if len(interner._word_to_id) != n:
+            raise ValueError("interner word list contains duplicates")
+        interner._positive_mask = np.ascontiguousarray(
+            positive_mask, dtype=bool
+        )
+        interner._negative_mask = np.ascontiguousarray(
+            negative_mask, dtype=bool
+        )
+        interner._sentiment_ids = np.ascontiguousarray(
+            sentiment_ids, dtype=np.int32
+        )
+        interner._frozen = True
+        return interner
+
+    @property
+    def frozen(self) -> bool:
+        """True for :meth:`from_arrays` interners that reject new words."""
+        return getattr(self, "_frozen", False)
+
+    def adopt_words(self, words: Sequence[str]) -> None:
+        """Replay *words* so each gets the id equal to its position.
+
+        Binding a persisted columnar store to a *live* analyzer means
+        the analyzer's interner must assign the stored ids to the
+        stored words.  Replaying into a fresh (or prefix-compatible)
+        interner does that; if any word lands on a different id --
+        because unrelated text was interned first -- the stored arenas
+        would decode garbage, so this raises instead.
+        """
+        for expected, word in enumerate(words):
+            got = self.intern(word)
+            if got != expected:
+                raise ValueError(
+                    f"cannot adopt persisted vocabulary: word {word!r} "
+                    f"interned to id {got}, store expects {expected}; "
+                    "attach the store before analyzing other text"
+                )

@@ -189,6 +189,55 @@ def write_npz_atomic(path: str | Path, **arrays: np.ndarray) -> None:
     _replace_into_place(tmp_path, path)
 
 
+def write_npy_atomic(path: str | Path, array: np.ndarray) -> None:
+    """Durably write a single *array* as an uncompressed ``.npy``.
+
+    Unlike :func:`write_npz_atomic` the result can be opened with
+    ``np.load(..., mmap_mode="r")``, which is what the columnar comment
+    store (:mod:`repro.core.columnar`) needs for restart rehydration
+    without paging whole columns into memory.
+    """
+    path = Path(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.save(handle, array, allow_pickle=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+    _replace_into_place(tmp_path, path)
+
+
+def write_jsonl_atomic(path: str | Path, rows: Any) -> None:
+    """Durably write an iterable of JSON-serializable *rows* as JSONL.
+
+    The whole file is staged in the target directory and renamed into
+    place, so readers either see the previous complete file or the new
+    complete file -- never a truncated line.  Shared by the collector's
+    :class:`~repro.collector.storage.DatasetStore` and any other
+    line-oriented dataset writers.
+    """
+    path = Path(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, ensure_ascii=False))
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+    _replace_into_place(tmp_path, path)
+
+
 def _config_to_dict(config: CATSConfig) -> dict[str, Any]:
     return {
         "lexicon": dataclasses.asdict(config.lexicon),

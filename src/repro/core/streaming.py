@@ -223,6 +223,14 @@ class StreamingDetector:
         the least-recently-observed item.  ``None`` (the default) never
         evicts.  The alerted set survives eviction, so reappearing
         items cannot re-alert.
+    columnar_store:
+        Optional :class:`~repro.core.columnar.ColumnarCommentStore`
+        sharing the analyzer's interner.  Every comment analysis the
+        detector performs is appended to it (exactly once, at the
+        moment the comment is folded into its item's accumulator), so
+        the store accumulates the full analyzed history as flat arrays
+        -- the serving layer persists it beside checkpoints and
+        restarts rehydrate from it instead of re-segmenting.
     """
 
     def __init__(
@@ -231,6 +239,7 @@ class StreamingDetector:
         rescore_growth: float = 1.25,
         min_comments_to_score: int = 3,
         max_tracked_items: int | None = None,
+        columnar_store=None,
     ) -> None:
         if rescore_growth < 1.0:
             raise ValueError(
@@ -250,6 +259,7 @@ class StreamingDetector:
         self.rescore_growth = rescore_growth
         self.min_comments_to_score = min_comments_to_score
         self.max_tracked_items = max_tracked_items
+        self.columnar_store = columnar_store
         #: Per-item state in least-recently-observed-first order.
         self._items: OrderedDict[int, _ItemState] = OrderedDict()
         self._alerts: list[Alert] = []
@@ -364,14 +374,14 @@ class StreamingDetector:
         its sentiment is one NB call and duplicate texts hit the
         shared analysis cache.
         """
-        texts = [
-            comment.content
-            for comment in state.comments[state.n_accumulated :]
-        ]
-        if texts:
-            state.accumulator.add_many(
-                self.cats.feature_extractor.comment_stats_many(texts)
+        new_records = state.comments[state.n_accumulated :]
+        if new_records:
+            stats_list = self.cats.feature_extractor.comment_stats_many(
+                [comment.content for comment in new_records]
             )
+            state.accumulator.add_many(stats_list)
+            if self.columnar_store is not None:
+                self.columnar_store.append(new_records, stats_list)
         state.n_accumulated = len(state.comments)
 
     def _finish_score(
@@ -472,27 +482,26 @@ class StreamingDetector:
         # buffer order -- bit-identical to per-item accumulation.
         eligible: list[tuple[int, _ItemState]] = []
         spans: list[tuple[_ItemState, int, int]] = []
-        all_texts: list[str] = []
+        all_records: list[CommentRecord] = []
         for item_id in unique_ids:
             state = self._items[item_id]
             if len(state.comments) < self.min_comments_to_score:
                 results[item_id] = state.last_probability
                 continue
             eligible.append((item_id, state))
-            start = len(all_texts)
-            all_texts.extend(
-                comment.content
-                for comment in state.comments[state.n_accumulated :]
-            )
-            spans.append((state, start, len(all_texts)))
-        if all_texts:
+            start = len(all_records)
+            all_records.extend(state.comments[state.n_accumulated :])
+            spans.append((state, start, len(all_records)))
+        if all_records:
             stats_list = self.cats.feature_extractor.comment_stats_many(
-                all_texts
+                [comment.content for comment in all_records]
             )
             for state, start, end in spans:
                 if start < end:
                     state.accumulator.add_many(stats_list[start:end])
                 state.n_accumulated = len(state.comments)
+            if self.columnar_store is not None:
+                self.columnar_store.append(all_records, stats_list)
         else:
             for state, _, _ in spans:
                 state.n_accumulated = len(state.comments)

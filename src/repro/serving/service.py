@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.collector.records import CommentRecord
+from repro.core.columnar import ColumnarStoreError
 from repro.core.streaming import Alert, StreamingDetector, shard_of
 from repro.core.system import CATS
 from repro.serving.batching import MicroBatcher, Request
@@ -107,6 +108,16 @@ class DetectionService:
         Optional :class:`~repro.mlops.replay.TrafficRecorder`; every
         *applied* mutation (ingest/feed/sales) is appended in apply
         order, so the recording replays to identical state.
+    columnar_store:
+        Optional :class:`~repro.core.columnar.ColumnarCommentStore`
+        (appendable, sharing the analyzer's interner -- normally opened
+        via ``ColumnarCommentStore.attach``).  Every analysis the
+        streaming detector performs is appended to it; each checkpoint
+        saves the store first and stamps the checkpoint with the
+        store's generation and committed comment count, and a restore
+        verifies the attached store covers the stamped count (a store
+        behind its checkpoint means analyses would silently be missing
+        from the arena, so that fails loudly).
     """
 
     def __init__(
@@ -129,6 +140,7 @@ class DetectionService:
         shadow: "ShadowScorer | None" = None,
         drift_monitor: "DriftMonitor | None" = None,
         recorder: "TrafficRecorder | None" = None,
+        columnar_store=None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
@@ -150,11 +162,13 @@ class DetectionService:
         self.recorder = recorder
         self.n_shadow_errors = 0
         self.n_recorder_errors = 0
+        self.columnar_store = columnar_store
         self.stream = StreamingDetector(
             cats,
             rescore_growth=rescore_growth,
             min_comments_to_score=min_comments_to_score,
             max_tracked_items=max_tracked_items,
+            columnar_store=columnar_store,
         )
         if drift_monitor is not None:
             self.stream.feature_observer = drift_monitor.observe_matrix
@@ -169,6 +183,7 @@ class DetectionService:
             loaded = self.checkpoints.load_latest()
             if loaded is not None:
                 state, path = loaded
+                self._check_columnar_stamp(state.get("columnar"))
                 self.stream.restore_state(
                     state,
                     expected_shard=self.shard,
@@ -189,6 +204,29 @@ class DetectionService:
             queue_depth=queue_depth,
         )
         self._started_at: float | None = None
+
+    def _check_columnar_stamp(self, stamp: dict[str, Any] | None) -> None:
+        """Verify the attached store covers a checkpoint's stamp.
+
+        The checkpoint was written only after the store committed (the
+        store saves first), so an attached store holding *fewer*
+        comments than the stamp records means analyses the restored
+        accumulators depend on are missing from the arena -- rescoring
+        history or serving the store would silently lie.  Unstamped
+        checkpoints (pre-columnar) and stampless restores (no store
+        attached) pass unchecked.
+        """
+        if stamp is None or self.columnar_store is None:
+            return
+        recorded = int(stamp.get("n_comments", 0))
+        if self.columnar_store.n_comments < recorded:
+            raise ValueError(
+                f"checkpoint was written with columnar store generation "
+                f"{stamp.get('generation')} holding {recorded} comments, "
+                f"but the attached store holds only "
+                f"{self.columnar_store.n_comments}; restoring would "
+                f"leave the arena missing analyzed history"
+            )
 
     @staticmethod
     def _resolve_model_info(
@@ -382,6 +420,13 @@ class DetectionService:
             stats["recorder_errors"] = self.n_recorder_errors
         if self.drift_monitor is not None:
             stats["drift_live_rows"] = self.drift_monitor.n_live_rows
+        if self.columnar_store is not None:
+            stats.update(
+                {
+                    f"columnar_{key}": value
+                    for key, value in self.columnar_store.stats().items()
+                }
+            )
         # Packed-predictor activity: confirms scoring goes through the
         # single-arena engine (repro.ml.inference), not a fallback.
         stats.update(self.cats.detector.packed_scoring_stats())
@@ -589,12 +634,22 @@ class DetectionService:
         if self._progress_marker() == self._last_checkpoint_marker:
             return
         try:
-            self.checkpoints.save(
-                self.stream.export_state(
-                    shard=self.shard, model=self.model_info
-                )
+            state = self.stream.export_state(
+                shard=self.shard, model=self.model_info
             )
-        except (OSError, CheckpointError) as exc:
+            if self.columnar_store is not None:
+                # Commit the analyzed-comment arena *before* the
+                # checkpoint references it, so a stamped checkpoint
+                # always names a generation that exists on disk.
+                store = self.columnar_store
+                if store.mode == "memory" and store.directory is not None:
+                    store.save()
+                state["columnar"] = {
+                    "generation": store.generation,
+                    "n_comments": store.n_comments,
+                }
+            self.checkpoints.save(state)
+        except (OSError, CheckpointError, ColumnarStoreError) as exc:
             # A failing disk must not take the scoring path down; the
             # failure is surfaced through /stats instead.
             self.n_checkpoint_failures += 1

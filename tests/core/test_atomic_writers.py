@@ -1,0 +1,77 @@
+"""Tests for the atomic file writers in repro.core.persistence.
+
+All of them stage into a same-directory temp file, fsync and rename --
+a reader never sees a half-written file, and no ``.tmp`` droppings
+survive a successful write.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.persistence import (
+    write_jsonl_atomic,
+    write_npy_atomic,
+)
+
+
+class TestWriteNpyAtomic:
+    def test_round_trip_and_mmap(self, tmp_path):
+        path = tmp_path / "col.npy"
+        array = np.arange(1000, dtype=np.int32)
+        write_npy_atomic(path, array)
+        assert np.array_equal(np.load(path), array)
+        mapped = np.load(path, mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(mapped, array)
+
+    def test_overwrite_leaves_no_droppings(self, tmp_path):
+        path = tmp_path / "col.npy"
+        write_npy_atomic(path, np.zeros(4))
+        write_npy_atomic(path, np.ones(8))
+        assert np.array_equal(np.load(path), np.ones(8))
+        assert [p.name for p in tmp_path.iterdir()] == ["col.npy"]
+
+
+class TestWriteJsonlAtomic:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        rows = [{"a": 1}, {"b": [2, 3]}, {"c": "x"}]
+        write_jsonl_atomic(path, iter(rows))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line) for line in lines] == rows
+
+    def test_empty_and_overwrite(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl_atomic(path, [{"a": 1}] * 5)
+        write_jsonl_atomic(path, [])
+        assert path.read_text(encoding="utf-8") == ""
+        assert [p.name for p in tmp_path.iterdir()] == ["rows.jsonl"]
+
+
+class TestDatasetStoreSave:
+    def test_save_uses_atomic_writers(self, tmp_path):
+        from repro.collector.records import (
+            CommentRecord,
+            ItemRecord,
+            ShopRecord,
+        )
+        from repro.collector.storage import DatasetStore
+
+        store = DatasetStore(
+            shops=[ShopRecord(1, "u1", "s1")],
+            items=[ItemRecord(10, 1, "a", 5.0, 12)],
+            comments=[
+                CommentRecord(
+                    10, 100, "hi", "a***b", 200, "web", "2017-09-10"
+                )
+            ],
+        )
+        store.save(tmp_path / "data")
+        names = sorted(p.name for p in (tmp_path / "data").iterdir())
+        assert names == ["comments.jsonl", "items.jsonl", "shops.jsonl"]
+        reloaded = DatasetStore.load(tmp_path / "data")
+        assert reloaded.summary() == store.summary()
+        assert reloaded.comments == store.comments

@@ -1,0 +1,436 @@
+"""Tests for repro.core.columnar (ColumnarCommentStore).
+
+The properties that matter:
+
+* **round trip** -- a store built from the extractor's interned stats,
+  saved and memory-mapped back, must produce feature matrices
+  bit-identical (``np.array_equal``) to live analysis, for arbitrary
+  comment mixes (empty, punctuation-only, OOV-only) and across
+  interner-growing appends;
+* **no re-segmentation** -- rehydration must not touch the segmenter
+  (counter-verified);
+* **committed prefix** -- SIGKILL at any moment of an append/save loop
+  must leave a loadable store whose contents are exactly some committed
+  prefix of the appended rows.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columnar import (
+    ColumnarCommentStore,
+    ColumnarStoreError,
+    append_comments,
+    gather_ranges,
+)
+from repro.core.features import FeatureExtractor
+from repro.core.interning import TokenInterner
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@dataclass
+class Rec:
+    """Duck-typed comment record (the store only reads these three)."""
+
+    item_id: int
+    comment_id: int
+    content: str
+
+
+def _oov_char(language) -> str:
+    alphabet = set("".join(language.dictionary_weights()))
+    for candidate in "qxz0123456789":
+        if candidate not in alphabet:
+            return candidate
+    raise AssertionError("no OOV character available")
+
+
+@pytest.fixture(scope="module")
+def words(language) -> list[str]:
+    return sorted(language.dictionary_weights())[:60]
+
+
+def build_store(analyzer, items: dict[int, list[str]], directory=None):
+    """(store, extractor) holding *items* (item_id -> comment texts)."""
+    extractor = FeatureExtractor(analyzer, cache_size=0)
+    store = ColumnarCommentStore(analyzer.interner)
+    comment_id = 0
+    for item_id, texts in items.items():
+        records = []
+        for text in texts:
+            records.append(Rec(item_id, comment_id, text))
+            comment_id += 1
+        append_comments(store, extractor, records)
+    if directory is not None:
+        store.save(directory)
+    return store, extractor
+
+
+def live_matrix(extractor, items: dict[int, list[str]]) -> np.ndarray:
+    return np.vstack(
+        [extractor.extract(texts) for texts in items.values()]
+    )
+
+
+class TestGatherRanges:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_concatenated_slices(self, data):
+        values = np.arange(data.draw(st.integers(1, 200)))
+        n = len(values)
+        spans = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n), st.integers(0, n)).map(
+                    lambda p: (min(p), max(p))
+                ),
+                min_size=0,
+                max_size=12,
+            )
+        )
+        starts = np.array([s for s, _ in spans], dtype=np.int64)
+        ends = np.array([e for _, e in spans], dtype=np.int64)
+        expected = np.concatenate(
+            [values[s:e] for s, e in spans] or [values[:0]]
+        )
+        assert np.array_equal(gather_ranges(values, starts, ends), expected)
+
+
+class TestRoundTrip:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_feature_matrix_bit_identical_after_reload(
+        self, data, analyzer, language, words, tmp_path_factory
+    ):
+        oov = _oov_char(language)
+        comment = st.lists(
+            st.sampled_from(words + [",", "!", oov, oov * 3]),
+            min_size=0,
+            max_size=8,
+        ).map("".join)
+        items = {
+            item_id: data.draw(
+                st.lists(comment, min_size=0, max_size=5)
+            )
+            for item_id in range(1, data.draw(st.integers(1, 5)) + 1)
+        }
+        directory = tmp_path_factory.mktemp("store")
+        store, extractor = build_store(analyzer, items, directory)
+        expected = live_matrix(extractor, items)
+        assert np.array_equal(
+            store.feature_matrix(items.keys()), expected
+        )
+        reloaded = ColumnarCommentStore.load(directory, mode="mmap")
+        assert np.array_equal(
+            reloaded.feature_matrix(items.keys()), expected
+        )
+
+    def test_empty_and_oov_only_comments(
+        self, analyzer, language, tmp_path
+    ):
+        oov = _oov_char(language)
+        items = {7: ["", oov * 4, ""], 9: [], 11: [oov, oov * 2]}
+        store, extractor = build_store(analyzer, items, tmp_path)
+        expected = live_matrix(extractor, items)
+        reloaded = ColumnarCommentStore.load(tmp_path)
+        assert np.array_equal(
+            reloaded.feature_matrix(items.keys()), expected
+        )
+
+    def test_interner_growth_across_appends(
+        self, analyzer, language, words, tmp_path
+    ):
+        # OOV chars segment to single-char tokens, so a char the
+        # interner has never seen interns a fresh id.
+        alphabet = set("".join(language.dictionary_weights()))
+        novel = [
+            c
+            for c in "0123456789"
+            if c not in alphabet and c not in analyzer.interner
+        ][:2]
+        assert len(novel) == 2, "no unseen OOV characters left"
+        extractor = FeatureExtractor(analyzer, cache_size=0)
+        store = ColumnarCommentStore(analyzer.interner)
+        first = [Rec(1, 0, words[0] + words[1]), Rec(1, 1, words[2])]
+        append_comments(store, extractor, first)
+        store.save(tmp_path)
+        vocab_before = len(analyzer.interner)
+        second = [
+            Rec(2, 2, novel[0] + novel[1]),
+            Rec(2, 3, novel[1] + words[0]),
+        ]
+        append_comments(store, extractor, second)
+        assert len(analyzer.interner) > vocab_before
+        generation = store.save()
+        assert generation == 2
+        items = {
+            1: [r.content for r in first],
+            2: [r.content for r in second],
+        }
+        reloaded = ColumnarCommentStore.load(tmp_path)
+        assert np.array_equal(
+            reloaded.feature_matrix([1, 2]),
+            live_matrix(extractor, items),
+        )
+
+    def test_rehydrate_stats_equal_fresh_analysis(
+        self, analyzer, words, tmp_path
+    ):
+        texts = [words[0] + words[1] + ",", words[2], ""]
+        items = {3: texts}
+        store, extractor = build_store(analyzer, items, tmp_path)
+        reloaded = ColumnarCommentStore.load(tmp_path)
+        rehydrated = reloaded.rehydrate_stats(range(len(texts)))
+        assert rehydrated == extractor.comment_stats_many(texts)
+
+    def test_rehydration_skips_resegmentation(
+        self, analyzer, words, tmp_path
+    ):
+        """Acceptance criterion: restart rehydration must not re-run
+        segmentation -- the analyzer's counter must not move."""
+        items = {1: [words[0] + words[1], words[2]], 2: [words[3]]}
+        store, extractor = build_store(analyzer, items, tmp_path)
+        reloaded = ColumnarCommentStore.load(tmp_path)
+        before = analyzer.n_segmentations
+        matrix = reloaded.feature_matrix([1, 2])
+        stats = reloaded.rehydrate_stats(range(3))
+        assert analyzer.n_segmentations == before
+        assert matrix.shape[0] == 2 and len(stats) == 3
+        # ... while the live path does segment (counter sanity).
+        extractor.comment_stats_scalar(words[0])
+        assert analyzer.n_segmentations == before + 1
+
+
+class TestGuards:
+    def test_mmap_store_rejects_append_and_save(
+        self, analyzer, words, tmp_path
+    ):
+        store, extractor = build_store(
+            analyzer, {1: [words[0]]}, tmp_path
+        )
+        reloaded = ColumnarCommentStore.load(tmp_path)
+        stats = extractor.comment_stats_many([words[1]])
+        with pytest.raises(ColumnarStoreError, match="read-only"):
+            reloaded.append([Rec(1, 99, words[1])], stats)
+        with pytest.raises(ColumnarStoreError, match="read-only"):
+            reloaded.save(tmp_path)
+
+    def test_frozen_interner_rejects_new_words(
+        self, analyzer, words, tmp_path
+    ):
+        build_store(analyzer, {1: [words[0]]}, tmp_path)
+        frozen = ColumnarCommentStore.load(tmp_path).interner
+        assert frozen.frozen
+        assert frozen.intern(words[0]) == analyzer.interner.intern(
+            words[0]
+        )
+        with pytest.raises(KeyError, match="frozen"):
+            frozen.intern("never-seen-before-word")
+
+    def test_scalar_path_stats_rejected(self, analyzer, words):
+        extractor = FeatureExtractor(analyzer, cache_size=0)
+        store = ColumnarCommentStore(analyzer.interner)
+        stats = [extractor.comment_stats_scalar(words[0])]
+        with pytest.raises(ColumnarStoreError, match="token_ids"):
+            store.append([Rec(1, 0, words[0])], stats)
+
+    def test_length_mismatch_rejected(self, analyzer, words):
+        extractor = FeatureExtractor(analyzer, cache_size=0)
+        store = ColumnarCommentStore(analyzer.interner)
+        stats = extractor.comment_stats_many([words[0]])
+        with pytest.raises(ColumnarStoreError, match="records"):
+            store.append([Rec(1, 0, words[0]), Rec(1, 1, words[1])], stats)
+        with pytest.raises(ColumnarStoreError, match="timestamps"):
+            store.append([Rec(1, 0, words[0])], stats, timestamps=[1.0, 2.0])
+
+    def test_adopt_words_mismatch(self, words):
+        interner = TokenInterner(frozenset(), frozenset())
+        interner.intern("already-here")
+        with pytest.raises(ValueError, match="attach the store"):
+            interner.adopt_words([words[0], words[1]])
+
+    def test_attach_replays_stored_vocabulary(
+        self, analyzer, words, tmp_path
+    ):
+        from types import SimpleNamespace
+
+        store, extractor = build_store(
+            analyzer, {1: [words[0] + words[1]]}, tmp_path
+        )
+        expected = store.feature_matrix([1])
+        fresh = SimpleNamespace(
+            interner=TokenInterner(frozenset(), frozenset())
+        )
+        attached = ColumnarCommentStore.attach(tmp_path, fresh)
+        assert attached.mode == "memory"
+        assert attached.interner is fresh.interner
+        assert fresh.interner.words[: len(analyzer.interner)] == (
+            analyzer.interner.words
+        )
+        assert np.array_equal(attached.feature_matrix([1]), expected)
+
+    def test_analyzer_hash_mismatch_rejected(self, analyzer, words, tmp_path):
+        extractor = FeatureExtractor(analyzer, cache_size=0)
+        store = ColumnarCommentStore(
+            analyzer.interner, analyzer_hash="aaaaaaaaaaaaaaaa"
+        )
+        stats = extractor.comment_stats_many([words[0]])
+        store.append([Rec(1, 0, words[0])], stats)
+        store.save(tmp_path)
+        with pytest.raises(ColumnarStoreError, match="analyzer"):
+            ColumnarCommentStore.load(
+                tmp_path, expected_analyzer_hash="bbbbbbbbbbbbbbbb"
+            )
+        # Matching (or absent) expectation loads fine.
+        ColumnarCommentStore.load(
+            tmp_path, expected_analyzer_hash="aaaaaaaaaaaaaaaa"
+        )
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ColumnarStoreError, match="store.json"):
+            ColumnarCommentStore.load(tmp_path)
+
+    def test_truncated_column_rejected(self, analyzer, words, tmp_path):
+        build_store(analyzer, {1: [words[0], words[1]]}, tmp_path)
+        short = np.load(tmp_path / "sentiment.npy")[:-1]
+        np.save(tmp_path / "sentiment.npy", short)
+        with pytest.raises(ColumnarStoreError):
+            ColumnarCommentStore.load(tmp_path)
+
+
+#: Child process for the SIGKILL test.  Appends deterministic synthetic
+#: batches and saves after every one, printing the generation; ``check``
+#: mode regenerates the same batches and verifies the committed prefix.
+CRASH_SCRIPT = r"""
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.core.columnar import ColumnarCommentStore
+from repro.core.features import CommentStats
+from repro.core.interning import TokenInterner
+
+BATCH = 32
+MAX_BATCHES = 400
+
+
+class Rec:
+    def __init__(self, item_id, comment_id, content):
+        self.item_id = item_id
+        self.comment_id = comment_id
+        self.content = content
+
+
+def make_batch(index, interner):
+    rng = np.random.default_rng(index)
+    records, stats, stamps = [], [], []
+    for j in range(BATCH):
+        n = int(rng.integers(0, 6))
+        tokens = [f"w{int(k)}" for k in rng.integers(0, 50, n)]
+        ids = interner.encode(tokens)
+        stats.append(
+            CommentStats(
+                n_words=n,
+                word_counts=Counter(tokens),
+                n_positive_distinct=int(rng.integers(0, 3)),
+                pos_neg_delta=int(rng.integers(0, 3)),
+                sentiment=float(rng.random()),
+                entropy=float(rng.random()),
+                n_punctuation=int(rng.integers(0, 4)),
+                punctuation_ratio=float(rng.random()),
+                n_positive_bigrams=int(rng.integers(0, 3)),
+                bigram_ratio_term=float(rng.random()),
+                token_ids=ids,
+            )
+        )
+        records.append(Rec(index, index * BATCH + j, "x" * n))
+        stamps.append(float(index))
+    return records, stats, stamps
+
+
+def run(directory):
+    interner = TokenInterner(frozenset(["w0"]), frozenset(["w1"]))
+    store = ColumnarCommentStore(interner)
+    for index in range(MAX_BATCHES):
+        records, stats, stamps = make_batch(index, interner)
+        store.append(records, stats, timestamps=stamps)
+        generation = store.save(directory)
+        print(f"gen {generation}", flush=True)
+
+
+def check(directory):
+    loaded = ColumnarCommentStore.load(directory)
+    n = loaded.n_comments
+    assert n % BATCH == 0, f"committed {n} rows, not a batch multiple"
+    assert n > 0, "no committed batches survived"
+    reference = TokenInterner(frozenset(["w0"]), frozenset(["w1"]))
+    tokens, columns = [], {name: [] for name in (
+        "item_id", "comment_id", "n_chars", "sentiment", "timestamp"
+    )}
+    for index in range(n // BATCH):
+        records, stats, stamps = make_batch(index, reference)
+        for record, stat, stamp in zip(records, stats, stamps):
+            tokens.extend(stat.token_ids.tolist())
+            columns["item_id"].append(record.item_id)
+            columns["comment_id"].append(record.comment_id)
+            columns["n_chars"].append(len(record.content))
+            columns["sentiment"].append(stat.sentiment)
+            columns["timestamp"].append(stamp)
+    assert loaded.tokens().tolist() == tokens
+    for name, expected in columns.items():
+        assert loaded.column(name).tolist() == expected, name
+    assert loaded.interner.words == reference.words[: len(
+        loaded.interner
+    )]
+    print(f"prefix ok: {n} rows", flush=True)
+
+
+if __name__ == "__main__":
+    mode, directory = sys.argv[1], sys.argv[2]
+    run(directory) if mode == "run" else check(directory)
+"""
+
+
+class TestCrashSafety:
+    def test_sigkill_leaves_loadable_committed_prefix(self, tmp_path):
+        script = tmp_path / "crash_child.py"
+        script.write_text(CRASH_SCRIPT, encoding="utf-8")
+        store_dir = tmp_path / "store"
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+        child = subprocess.Popen(
+            [sys.executable, str(script), "run", str(store_dir)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            # Let a few generations commit, then kill without warning --
+            # the child is likely mid-append or mid-save.
+            for line in child.stdout:
+                if line.startswith("gen 5"):
+                    break
+            child.kill()
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - cleanup
+                child.kill()
+        assert child.returncode in (-signal.SIGKILL, 0)
+        verify = subprocess.run(
+            [sys.executable, str(script), "check", str(store_dir)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert verify.returncode == 0, verify.stdout + verify.stderr
+        assert "prefix ok" in verify.stdout

@@ -84,6 +84,82 @@ class TestDetectCommand:
             main(["detect", str(model_dir), str(tmp_path / "empty")])
 
 
+class TestAnalyzeCommand:
+    def test_analyze_then_detect_matches_live_detect(
+        self, tmp_path, model_dir, capsys
+    ):
+        crawl_dir = tmp_path / "crawl"
+        main(["crawl", str(crawl_dir), "--scale", "0.0002", "--seed", "6"])
+        capsys.readouterr()
+        store_dir = tmp_path / "columnar"
+        rc = main(
+            ["analyze", str(model_dir), str(crawl_dir), str(store_dir)]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analyzed"] > 0
+        assert payload["generation"] == 1
+        assert (store_dir / "store.json").exists()
+        # Detection from the store must match live detection exactly.
+        main(["detect", str(model_dir), str(crawl_dir)])
+        live = json.loads(capsys.readouterr().out)
+        rc = main(
+            [
+                "detect",
+                str(model_dir),
+                str(crawl_dir),
+                "--store",
+                str(store_dir),
+            ]
+        )
+        assert rc == 0
+        stored = json.loads(capsys.readouterr().out)
+        assert stored == live
+
+    def test_detect_rejects_stale_store(self, tmp_path, model_dir, capsys):
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        main(["crawl", str(first), "--scale", "0.0002", "--seed", "7"])
+        main(["crawl", str(second), "--scale", "0.0005", "--seed", "8"])
+        store_dir = tmp_path / "columnar"
+        main(["analyze", str(model_dir), str(first), str(store_dir)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="re-run `cats analyze`"):
+            main(
+                [
+                    "detect",
+                    str(model_dir),
+                    str(second),
+                    "--store",
+                    str(store_dir),
+                ]
+            )
+
+    def test_analyze_missing_comments(self, tmp_path, model_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "analyze",
+                    str(model_dir),
+                    str(tmp_path / "nowhere"),
+                    str(tmp_path / "columnar"),
+                ]
+            )
+
+    def test_cluster_serve_rejects_columnar_store(self, model_dir, tmp_path):
+        with pytest.raises(SystemExit, match="per-process"):
+            main(
+                [
+                    "serve",
+                    str(model_dir),
+                    "--shards",
+                    "2",
+                    "--columnar-store",
+                    str(tmp_path / "columnar"),
+                ]
+            )
+
+
 class TestEvaluateCommand:
     def test_evaluate_prints_table(self, model_dir, capsys):
         rc = main(
