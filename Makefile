@@ -10,7 +10,8 @@ TOY_MODEL := examples/toy_model
 
 .PHONY: verify test bench-smoke bench-smoke-serving \
 	bench-smoke-pipeline bench-smoke-training bench-smoke-inference \
-	bench-smoke-cluster bench-smoke-shadow bench-smoke-e2e bench \
+	bench-smoke-cluster bench-smoke-shadow bench-smoke-analyze \
+	bench-smoke-e2e bench \
 	serve serve-cluster
 
 verify:
@@ -39,6 +40,9 @@ bench-smoke-cluster:
 
 bench-smoke-shadow:
 	python benchmarks/bench_shadow.py --quick
+
+bench-smoke-analyze:
+	python benchmarks/bench_analyze.py --quick
 
 bench-smoke-e2e:
 	python benchmarks/bench_e2e.py --quick

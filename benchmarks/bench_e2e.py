@@ -9,7 +9,11 @@ Taobao snapshot).  Five timed phases, one process:
 * **analyze** -- segment, intern and sentiment-score every comment
   through the vectorized extractor, appending each batch into a
   :class:`~repro.core.columnar.ColumnarCommentStore`; then persist the
-  store (``persist_s``) through the atomic ``.npy`` writers;
+  store (``persist_s``) through the atomic ``.npy`` writers.  The same
+  corpus is first analyzed through the parallel sharded engine
+  (``analyze_parallel_s``, all CPUs), and the resulting store is
+  asserted bit-identical to the serial one -- the deterministic-merge
+  guarantee of :mod:`repro.core.parallel_analysis` measured end to end;
 * **extract (live)** -- the pre-columnar restart path: fold per-comment
   stats into the Table II feature matrix straight from analysis;
 * **rehydrate** -- the post-columnar restart path: memory-map the
@@ -44,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -126,12 +131,31 @@ def run(quick: bool, scale: float | None = None) -> dict:
     t0 = time.perf_counter()
     d1 = build_d1(language, scale=d1_scale)
     collect_s = time.perf_counter() - t0
-    records = [
-        comment for item in d1.items for comment in item.comments
-    ]
+    records = d1.comment_records()
 
     with tempfile.TemporaryDirectory(prefix="bench_e2e_store_") as tmp:
         store_dir = Path(tmp) / "columnar"
+
+        # Parallel analyze runs FIRST, on the pristine post-D0 interner,
+        # so the deterministic shard merge does real vocabulary adoption
+        # (running it second would find every D1 word already interned).
+        n_analyze_workers = max(2, os.cpu_count() or 1)
+        print(
+            f"analyze (parallel): {len(records)} comments on "
+            f"{n_analyze_workers} workers ...",
+            file=sys.stderr,
+        )
+        extractor_parallel = FeatureExtractor(analyzer)
+        store_parallel = ColumnarCommentStore(analyzer.interner)
+        t0 = time.perf_counter()
+        append_comments(
+            store_parallel,
+            extractor_parallel,
+            records,
+            chunk_size=ANALYZE_CHUNK_SIZE,
+            n_workers=n_analyze_workers,
+        )
+        analyze_parallel_s = time.perf_counter() - t0
 
         print(
             f"analyze: {len(records)} comments through the extractor ...",
@@ -144,6 +168,12 @@ def run(quick: bool, scale: float | None = None) -> dict:
             store, extractor, records, chunk_size=ANALYZE_CHUNK_SIZE
         )
         analyze_s = time.perf_counter() - t0
+        assert np.array_equal(
+            np.asarray(store_parallel.tokens()), np.asarray(store.tokens())
+        ) and np.array_equal(
+            np.asarray(store_parallel.offsets()),
+            np.asarray(store.offsets()),
+        ), "parallel analyze must produce the serial token arena bit for bit"
         t0 = time.perf_counter()
         store.save(store_dir)
         persist_s = time.perf_counter() - t0
@@ -169,6 +199,14 @@ def run(quick: bool, scale: float | None = None) -> dict:
             "live-analysis matrix bit for bit"
         )
 
+        item_ids = [item.item_id for item in d1.items]
+        assert np.array_equal(
+            live, store_parallel.feature_matrix(item_ids)
+        ), (
+            "parallel-analyzed feature matrix must equal the "
+            "live-analysis matrix bit for bit"
+        )
+
         print("detect: chunked scoring ...", file=sys.stderr)
         t0 = time.perf_counter()
         report = cats.detect_with_features(
@@ -190,6 +228,9 @@ def run(quick: bool, scale: float | None = None) -> dict:
         "arena_mib": round(store_stats["arena_bytes"] / 2**20, 2),
         "collect_s": round(collect_s, 3),
         "analyze_s": round(analyze_s, 3),
+        "analyze_parallel_s": round(analyze_parallel_s, 3),
+        "n_analyze_workers": n_analyze_workers,
+        "n_cpus": os.cpu_count(),
         "persist_s": round(persist_s, 3),
         "extract_live_s": round(extract_live_s, 3),
         "rehydrate_s": round(rehydrate_s, 3),

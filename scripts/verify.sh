@@ -30,6 +30,9 @@ python benchmarks/bench_inference.py --quick
 echo "==> shadow-scoring overhead smoke bench (--quick)"
 python benchmarks/bench_shadow.py --quick
 
+echo "==> parallel analysis smoke bench (--quick)"
+python benchmarks/bench_analyze.py --quick
+
 echo "==> end-to-end D1 smoke bench (--quick)"
 python benchmarks/bench_e2e.py --quick
 

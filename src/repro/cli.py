@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -178,12 +179,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         cats.feature_extractor,
         store.comments,
         chunk_size=args.chunk_size,
+        n_workers=args.workers,
     )
     generation = columnar.save(args.store_dir)
     print(
         json.dumps(
             {
                 "analyzed": appended,
+                "workers": args.workers,
                 "store_dir": args.store_dir,
                 "generation": generation,
                 "store": columnar.stats(),
@@ -701,6 +704,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=8192,
         help="analyze comments in batches of this size (bounds peak "
         "memory; the store content is identical for any chunking)",
+    )
+    analyze.add_argument(
+        "--workers", type=int, default=os.cpu_count(),
+        help="analyze chunks on this many worker processes (default: "
+        "all CPUs; the store content is bit-identical for any worker "
+        "count, 1 = serial)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 

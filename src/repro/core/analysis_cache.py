@@ -97,6 +97,26 @@ class AnalysisCache:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
 
+    def absorb_counters(
+        self, hits: int, misses: int, evictions: int = 0
+    ) -> None:
+        """Fold a worker-side cache's counter deltas into this cache.
+
+        Parallel analysis runs per-worker caches in other processes;
+        merging their hit/miss/eviction deltas here keeps the parent's
+        :meth:`info` (and the serving ``/stats`` gauges built on it)
+        truthful about the total analysis work performed.  Entries are
+        *not* transferred -- only the accounting.
+        """
+        if hits < 0 or misses < 0 or evictions < 0:
+            raise ValueError(
+                f"counter deltas must be >= 0, got hits={hits} "
+                f"misses={misses} evictions={evictions}"
+            )
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+
     def info(self) -> CacheInfo:
         """Current counters."""
         return CacheInfo(

@@ -19,6 +19,7 @@ From these it derives the positive/negative lexicons by seed expansion.
 
 from __future__ import annotations
 
+import pickle
 from collections.abc import Mapping, Sequence
 
 from repro.core.config import CATSConfig
@@ -138,6 +139,63 @@ class SemanticAnalyzer:
             )
             self._interner_key = key
         return self._interner
+
+    # -- worker cloning -----------------------------------------------------
+
+    def clone_spec(self) -> bytes:
+        """Pickled worker clone of this analyzer.
+
+        The parallel analysis engine ships one spec per run; every
+        worker process rebuilds its private analyzer from it with
+        :meth:`from_spec`.  The clone carries the same trained
+        resources *and* the current interner state -- its first
+        ``len(self.interner)`` ids are identical to the parent's, which
+        is the invariant the deterministic shard merge
+        (:func:`repro.core.interning.merge_interners`) is built on.
+        The segmentation counter starts at zero so each worker reports
+        its own work, to be merged back via :meth:`merge_counters`.
+        """
+        self.interner  # materialize, so the clone carries the base vocab
+        clone = object.__new__(SemanticAnalyzer)
+        # Instance attributes that are methods bound to *this* analyzer
+        # (instrumentation shims left by profiling/test wrappers) are
+        # dropped: pickling one would smuggle a stale second analyzer
+        # into the spec as its __self__, and the clone's calls would
+        # mutate that hidden copy instead of the clone.
+        clone.__dict__ = {
+            name: value
+            for name, value in self.__dict__.items()
+            if getattr(value, "__self__", None) is not self
+        }
+        clone.n_segmentations = 0
+        return pickle.dumps(clone)
+
+    @staticmethod
+    def from_spec(spec: bytes) -> "SemanticAnalyzer":
+        """Rebuild a worker analyzer from a :meth:`clone_spec` payload."""
+        analyzer = pickle.loads(spec)
+        if not isinstance(analyzer, SemanticAnalyzer):
+            raise TypeError(
+                f"spec does not contain a SemanticAnalyzer "
+                f"(got {type(analyzer).__name__})"
+            )
+        return analyzer
+
+    def merge_counters(self, n_segmentations: int) -> None:
+        """Fold a worker clone's segmentation count back into this one.
+
+        Keeps :attr:`n_segmentations` truthful under parallel analysis:
+        the parent's counter ends up equal to the total segmentation
+        work actually performed anywhere on its behalf, so gauges and
+        the zero-resegmentation assertions stay meaningful with
+        ``--workers``.
+        """
+        if n_segmentations < 0:
+            raise ValueError(
+                f"worker segmentation count must be >= 0, got "
+                f"{n_segmentations}"
+            )
+        self.n_segmentations += n_segmentations
 
     # -- convenience -------------------------------------------------------
 

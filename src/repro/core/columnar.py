@@ -116,6 +116,17 @@ _COLUMN_DTYPES: dict[str, Any] = {
 }
 _COLUMN_NAMES: tuple[str, ...] = tuple(_COLUMN_DTYPES)
 
+#: The per-comment *analysis* columns an :meth:`append_arrays` payload
+#: must supply -- everything except identity (``item_id`` /
+#: ``comment_id``) and the append ``timestamp``, which the caller and
+#: the store provide respectively.  Parallel-analysis shards carry
+#: exactly these.
+STAT_COLUMN_NAMES: tuple[str, ...] = tuple(
+    name
+    for name in _COLUMN_NAMES
+    if name not in ("item_id", "comment_id", "timestamp")
+)
+
 
 class ColumnarStoreError(RuntimeError):
     """Raised on invalid store operations or a corrupt on-disk store."""
@@ -339,48 +350,115 @@ class ColumnarCommentStore:
                     "only the extractor's interned path can feed the "
                     "columnar store"
                 )
-        first_row = self.n_comments
-        if timestamps is None:
-            timestamps = np.full(len(records), time.time(), dtype=np.float64)
-        elif len(timestamps) != len(records):
-            raise ColumnarStoreError(
-                f"{len(records)} records but {len(timestamps)} timestamps"
-            )
         lens = np.fromiter(
             (len(s.token_ids) for s in stats_list),
             dtype=np.int64,
             count=len(stats_list),
         )
-        last = self._offsets.view[-1]
-        self._offsets.extend(last + np.cumsum(lens))
-        if lens.sum():
-            self._tokens.extend(
-                np.concatenate([s.token_ids for s in stats_list])
+        offsets = np.zeros(len(stats_list) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        if int(offsets[-1]):
+            tokens = np.concatenate([s.token_ids for s in stats_list])
+        else:
+            tokens = np.empty(0, dtype=np.int32)
+        columns = {
+            "n_chars": [len(r.content) for r in records],
+            **{
+                name: [getattr(s, name) for s in stats_list]
+                for name in STAT_COLUMN_NAMES
+                if name != "n_chars"
+            },
+        }
+        return self.append_arrays(
+            item_ids=[int(r.item_id) for r in records],
+            comment_ids=[int(r.comment_id) for r in records],
+            tokens=tokens,
+            offsets=offsets,
+            columns=columns,
+            timestamps=timestamps,
+        )
+
+    def append_arrays(
+        self,
+        item_ids: Sequence[int] | np.ndarray,
+        comment_ids: Sequence[int] | np.ndarray,
+        tokens: np.ndarray,
+        offsets: np.ndarray,
+        columns: dict[str, np.ndarray | Sequence],
+        timestamps: Sequence[float] | np.ndarray | None = None,
+    ) -> int:
+        """Append one pre-analyzed columnar batch; returns its first row.
+
+        The array-level append primitive :meth:`append` is built on and
+        the sink parallel-analysis shards concatenate into: *tokens* is
+        the batch's interned arena (ids in **this store's interner**
+        space -- remap worker-local shards first, see
+        :func:`repro.core.interning.remap_ids`), *offsets* its
+        batch-local offsets (length ``n + 1``, starting at 0), and
+        *columns* one entry per :data:`STAT_COLUMN_NAMES`.  Offsets are
+        rebased onto the arena tail; *timestamps* defaults to now.
+        """
+        if self.mode != "memory":
+            raise ColumnarStoreError(
+                "store is memory-mapped read-only; reopen with "
+                "mode='memory' or attach() to append"
             )
-        self._cols["item_id"].extend(
-            [int(r.item_id) for r in records]
-        )
-        self._cols["comment_id"].extend(
-            [int(r.comment_id) for r in records]
-        )
-        self._cols["n_chars"].extend(
-            [len(r.content) for r in records]
-        )
-        for name, attr in (
-            ("n_positive_distinct", "n_positive_distinct"),
-            ("pos_neg_delta", "pos_neg_delta"),
-            ("n_punctuation", "n_punctuation"),
-            ("n_positive_bigrams", "n_positive_bigrams"),
-            ("sentiment", "sentiment"),
-            ("entropy", "entropy"),
-            ("punctuation_ratio", "punctuation_ratio"),
-            ("bigram_ratio_term", "bigram_ratio_term"),
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or len(offsets) < 1 or int(offsets[0]) != 0:
+            raise ColumnarStoreError(
+                "batch offsets must be 1-d, non-empty and start at 0"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise ColumnarStoreError("batch offsets must be non-decreasing")
+        n = len(offsets) - 1
+        tokens = np.asarray(tokens, dtype=np.int32)
+        if int(offsets[-1]) != len(tokens):
+            raise ColumnarStoreError(
+                f"batch offsets end at {int(offsets[-1])} but the token "
+                f"arena holds {len(tokens)} ids"
+            )
+        if tokens.size and (
+            int(tokens.min()) < 0 or int(tokens.max()) >= len(self._interner)
         ):
-            self._cols[name].extend(
-                [getattr(s, attr) for s in stats_list]
+            raise ColumnarStoreError(
+                f"batch token ids fall outside the store interner's "
+                f"{len(self._interner)} words; remap shard-local ids "
+                f"before appending"
             )
+        if len(item_ids) != n or len(comment_ids) != n:
+            raise ColumnarStoreError(
+                f"batch holds {n} comments but {len(item_ids)} item ids "
+                f"and {len(comment_ids)} comment ids"
+            )
+        missing = [name for name in STAT_COLUMN_NAMES if name not in columns]
+        if missing:
+            raise ColumnarStoreError(
+                f"batch columns missing {missing}; expected all of "
+                f"{list(STAT_COLUMN_NAMES)}"
+            )
+        for name in STAT_COLUMN_NAMES:
+            if len(columns[name]) != n:
+                raise ColumnarStoreError(
+                    f"batch column {name!r} holds {len(columns[name])} "
+                    f"values for {n} comments"
+                )
+        if timestamps is None:
+            timestamps = np.full(n, time.time(), dtype=np.float64)
+        elif len(timestamps) != n:
+            raise ColumnarStoreError(
+                f"batch holds {n} comments but {len(timestamps)} timestamps"
+            )
+        first_row = self.n_comments
+        last = self._offsets.view[-1]
+        self._offsets.extend(last + offsets[1:])
+        if len(tokens):
+            self._tokens.extend(tokens)
+        self._cols["item_id"].extend(item_ids)
+        self._cols["comment_id"].extend(comment_ids)
+        for name in STAT_COLUMN_NAMES:
+            self._cols[name].extend(columns[name])
         self._cols["timestamp"].extend(timestamps)
-        self.n_appended_rows += len(records)
+        self.n_appended_rows += n
         self._index = None
         return first_row
 
@@ -783,15 +861,31 @@ def append_comments(
     extractor,
     records: Sequence,
     chunk_size: int = 8192,
+    n_workers: int | None = None,
 ) -> int:
     """Analyze *records* through *extractor* and append them in chunks.
 
     The chunked batching keeps peak memory flat on multi-million-comment
     datasets while still amortizing sentiment into one NB call per
     chunk.  Returns the number of rows appended.
+
+    With ``n_workers > 1`` the chunks are analyzed by the parallel
+    sharded engine (:mod:`repro.core.parallel_analysis`) and merged
+    deterministically -- the resulting store content and interner are
+    bit-identical to the serial run's for any worker count.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if n_workers and n_workers > 1:
+        from repro.core.parallel_analysis import analyze_many
+
+        return analyze_many(
+            store,
+            extractor,
+            records,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+        )
     appended = 0
     for start in range(0, len(records), chunk_size):
         chunk = records[start : start + chunk_size]

@@ -342,6 +342,17 @@ class FeatureExtractor:
         if self._cache is not None:
             self._cache.clear()
 
+    def absorb_worker_cache_counters(
+        self, hits: int, misses: int, evictions: int = 0
+    ) -> None:
+        """Fold parallel-worker cache counter deltas into this cache.
+
+        No-op when caching is disabled.  See
+        :meth:`AnalysisCache.absorb_counters`.
+        """
+        if self._cache is not None:
+            self._cache.absorb_counters(hits, misses, evictions)
+
     # -- per-comment statistics -------------------------------------------
 
     def _analyze(self, text: str, interner: TokenInterner) -> CommentStats:
@@ -372,7 +383,9 @@ class FeatureExtractor:
         return stats
 
     def comment_stats_many(
-        self, texts: Sequence[str]
+        self,
+        texts: Sequence[str],
+        n_workers: int | None = None,
     ) -> list[CommentStats]:
         """Per-comment statistics for a batch, in input order.
 
@@ -380,8 +393,22 @@ class FeatureExtractor:
         return for ``texts[i]``; the batch form segments each
         *distinct* cache-missing text once and scores all misses'
         sentiment through one batched NB call.
+
+        With ``n_workers > 1`` the batch is analyzed by the parallel
+        sharded engine (:mod:`repro.core.parallel_analysis`): every
+        returned stats object is field-for-field equal to the serial
+        one, with ``token_ids`` in the merged interner's id space and
+        the interner grown exactly as a serial run would grow it.
+        Falls back to the serial path (and stays correct) when worker
+        processes cannot be spawned.
         """
         interner = self._interner()
+        if n_workers and n_workers > 1 and len(texts) > 1:
+            from repro.core.parallel_analysis import analyze_stats_many
+
+            results = analyze_stats_many(self, texts, n_workers)
+            if results is not None:
+                return results
         cache = self._cache
         results: list[CommentStats | None] = [None] * len(texts)
         computed: dict[str, int] = {}

@@ -234,6 +234,18 @@ class TokenInterner:
         """True for :meth:`from_arrays` interners that reject new words."""
         return getattr(self, "_frozen", False)
 
+    def words_from(self, start: int) -> list[str]:
+        """Interned words with ids ``>= start``, in id order.
+
+        The tail a worker-local interner grew beyond its cloned base --
+        exactly what :func:`merge_interners` consumes -- without
+        copying the (much larger) shared prefix the way :attr:`words`
+        would.
+        """
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        return self._id_to_word[start:]
+
     def adopt_words(self, words: Sequence[str]) -> None:
         """Replay *words* so each gets the id equal to its position.
 
@@ -252,3 +264,65 @@ class TokenInterner:
                     f"interned to id {got}, store expects {expected}; "
                     "attach the store before analyzing other text"
                 )
+
+
+# -- parallel-shard vocabulary merge -----------------------------------------
+
+
+def merge_interners(
+    target: TokenInterner,
+    shard_words: Sequence[str],
+    base_size: int,
+) -> np.ndarray:
+    """Union one worker shard's vocabulary into *target*; return its LUT.
+
+    A parallel-analysis worker starts from a clone of *target* holding
+    its first ``base_size`` words (ids ``0 .. base_size-1`` identical by
+    construction) and interns whatever else its chunks contain.
+    *shard_words* is everything the worker grew beyond that base
+    (:meth:`TokenInterner.words_from`), in worker-local id order --
+    i.e. first-seen order within the worker's chunk stream.
+
+    Each shard word is adopted through :meth:`TokenInterner.intern`:
+    words the target already knows (from the base or an earlier shard)
+    keep their existing id, genuinely new words get the next dense id.
+    Merging shards in **chunk order** therefore reproduces the serial
+    run's id assignment exactly: a word's merged id is determined by the
+    first chunk it occurs in and its first occurrence position inside
+    that chunk, which is precisely the serial first-occurrence order.
+    The merged interner snapshot is byte-identical to the serial one.
+
+    Returns the shard's id lookup table: an ``int32`` array of length
+    ``base_size + len(shard_words)`` with ``lut[local_id] == merged_id``
+    (identity below ``base_size``).  Remap a shard's token arena with
+    :func:`remap_ids`.
+    """
+    if len(target) < base_size:
+        raise ValueError(
+            f"merge target holds {len(target)} words but the shard was "
+            f"cloned from a base of {base_size}; shards can only be "
+            f"merged into the interner they were cloned from"
+        )
+    lut = np.empty(base_size + len(shard_words), dtype=np.int32)
+    lut[:base_size] = np.arange(base_size, dtype=np.int32)
+    intern = target.intern
+    for offset, word in enumerate(shard_words):
+        lut[base_size + offset] = intern(word)
+    return lut
+
+
+def remap_ids(ids: np.ndarray, lut: np.ndarray) -> np.ndarray:
+    """Gather worker-local token ids through a merge LUT.
+
+    One vectorized ``np.take`` -- the whole cost of translating a
+    shard's token arena into the merged id space.  When the LUT is the
+    identity (the shard grew no vocabulary and neither did any earlier
+    shard) callers may skip the gather entirely; the result would be an
+    equal array either way.
+    """
+    ids = np.asarray(ids)
+    if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= len(lut)):
+        raise ValueError(
+            f"token id outside the shard's LUT of {len(lut)} entries"
+        )
+    return np.take(lut, ids).astype(np.int32, copy=False)

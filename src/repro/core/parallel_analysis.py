@@ -1,0 +1,453 @@
+"""Parallel sharded comment analysis with a deterministic merge.
+
+Comment analysis (trie-Viterbi segmentation + batched NB sentiment) was
+the last serial O(corpus) stage in the pipeline: extraction, scoring and
+serving all shard or chunk, but every comment still flowed through one
+process.  The corpus is embarrassingly parallel -- each comment's
+analysis is a pure function of its text -- *except* for one piece of
+shared mutable state: the :class:`~repro.core.interning.TokenInterner`,
+which assigns ids in first-seen order.  Naively sharing it across
+processes would either serialize on a lock or produce schedule-dependent
+id assignments, breaking the repo-wide bit-identity discipline.
+
+This module parallelizes around that state instead:
+
+1. the corpus is split into **deterministic contiguous chunks** (a pure
+   function of ``len(records)`` and ``chunk_size`` -- never of worker
+   count or scheduling);
+2. every worker process rebuilds a private analyzer from one pickled
+   spec (:meth:`~repro.core.analyzer.SemanticAnalyzer.clone_spec`), so
+   its **local interner** starts as an exact copy of the parent's
+   (``base_vocab`` ids agree by construction) and grows independently;
+3. each chunk comes back as an :class:`AnalysisShard`: a columnar
+   payload (local-id ``int32`` token arena + offsets + the per-comment
+   stat columns) plus the worker vocabulary grown beyond the base and
+   the worker's segmentation/cache counter deltas;
+4. the parent merges shards **in chunk order**:
+   :func:`~repro.core.interning.merge_interners` adopts each shard's
+   new words first-seen-chunk-first (reproducing the serial run's id
+   assignment exactly -- see its docstring for the argument), and the
+   shard's arena is translated with one vectorized
+   :func:`~repro.core.interning.remap_ids` gather before being appended
+   to the :class:`~repro.core.columnar.ColumnarCommentStore`.
+
+The result is **bit-identical** to the serial run for any worker count
+and chunk size: same feature matrix, same interner snapshot, same
+per-item coverage.  Counters are merged back into the parent analyzer
+and cache so ``/stats`` gauges and the zero-resegmentation assertions
+stay truthful under ``--workers``.
+
+Failure semantics: if worker processes cannot be spawned at all (a
+sandboxed environment), the engine falls back to the in-process path --
+*counted* in :data:`ENGINE_STATS` and logged, never silent.  A worker
+that dies mid-run (OOM kill, segfault) raises
+:class:`ParallelAnalysisError` before anything is appended: shards are
+collected first, merged after, so a partial run never produces a
+partial store.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.interning import merge_interners, remap_ids
+
+_log = logging.getLogger(__name__)
+
+#: Engine activity counters (process-wide).  ``serial_fallbacks`` counts
+#: runs that wanted workers but had to analyze in-process because the
+#: environment refused to spawn them -- surfaced instead of swallowed.
+ENGINE_STATS = {"parallel_runs": 0, "serial_fallbacks": 0}
+
+#: Default comments per chunk; matches the store append batching.
+DEFAULT_CHUNK_SIZE = 8192
+
+#: Per-comment stat columns a shard carries, in
+#: :mod:`repro.core.columnar` manifest order (identity, i.e. item/
+#: comment ids and timestamps, is supplied by the parent at append
+#: time).
+SHARD_INT_COLUMNS: tuple[str, ...] = (
+    "n_chars",
+    "n_positive_distinct",
+    "pos_neg_delta",
+    "n_punctuation",
+    "n_positive_bigrams",
+)
+SHARD_FLOAT_COLUMNS: tuple[str, ...] = (
+    "sentiment",
+    "entropy",
+    "punctuation_ratio",
+    "bigram_ratio_term",
+)
+
+
+class ParallelAnalysisError(RuntimeError):
+    """A worker died mid-run; no partial results were committed."""
+
+
+@dataclass
+class AnalysisShard:
+    """One chunk's analysis output in worker-local id space."""
+
+    #: Interned token arena, worker-local ``int32`` ids, back to back.
+    tokens: np.ndarray
+    #: Arena offsets, length ``n_comments + 1`` (``offsets[0] == 0``).
+    offsets: np.ndarray
+    #: Per-comment stat columns (:data:`SHARD_INT_COLUMNS` as ``int32``,
+    #: :data:`SHARD_FLOAT_COLUMNS` as ``float64``).
+    columns: dict[str, np.ndarray]
+    #: Words the worker interned beyond its cloned base, local-id order.
+    #: Cumulative across the worker's earlier chunks -- the shard's LUT
+    #: must cover every id its arena can reference.
+    new_words: list[str]
+    #: Parent vocabulary size at clone time (ids below it are shared).
+    base_vocab: int
+    #: Segmentations this chunk cost the worker.
+    n_segmentations: int
+    #: Worker cache hit/miss/eviction deltas for this chunk.
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+
+    @property
+    def n_comments(self) -> int:
+        return len(self.offsets) - 1
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process worker state (set once by the pool initializer).
+_WORKER_STATE: dict | None = None
+
+
+def _make_worker_state(spec: bytes, cache_size: int | None) -> dict:
+    """Build one worker's private extractor from the pickled spec."""
+    from repro.core.analyzer import SemanticAnalyzer
+    from repro.core.features import FeatureExtractor
+
+    analyzer = SemanticAnalyzer.from_spec(spec)
+    extractor = FeatureExtractor(analyzer, cache_size=cache_size)
+    return {
+        "extractor": extractor,
+        "base_vocab": len(analyzer.interner),
+    }
+
+
+def _analyze_chunk_in_state(state: dict, texts: Sequence[str]) -> AnalysisShard:
+    """Analyze one chunk under a worker state; emit its columnar shard.
+
+    Runs the exact serial analysis path
+    (:meth:`FeatureExtractor.comment_stats_many`: dedupe, segment,
+    intern, one batched NB sentiment call) and flattens the resulting
+    stats into arrays.  Counter deltas are measured around the call so
+    a worker processing many chunks reports each chunk's own cost.
+    """
+    extractor = state["extractor"]
+    analyzer = extractor.analyzer
+    seg_before = analyzer.n_segmentations
+    info_before = extractor.cache_info()
+    stats_list = extractor.comment_stats_many(list(texts))
+    info_after = extractor.cache_info()
+
+    lens = np.fromiter(
+        (len(s.token_ids) for s in stats_list),
+        dtype=np.int64,
+        count=len(stats_list),
+    )
+    offsets = np.zeros(len(stats_list) + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    if int(offsets[-1]):
+        tokens = np.concatenate([s.token_ids for s in stats_list])
+    else:
+        tokens = np.empty(0, dtype=np.int32)
+    columns: dict[str, np.ndarray] = {
+        "n_chars": np.fromiter(
+            (len(t) for t in texts), dtype=np.int32, count=len(texts)
+        )
+    }
+    for name in SHARD_INT_COLUMNS[1:]:
+        columns[name] = np.fromiter(
+            (getattr(s, name) for s in stats_list),
+            dtype=np.int32,
+            count=len(stats_list),
+        )
+    for name in SHARD_FLOAT_COLUMNS:
+        columns[name] = np.fromiter(
+            (getattr(s, name) for s in stats_list),
+            dtype=np.float64,
+            count=len(stats_list),
+        )
+    base = state["base_vocab"]
+    if info_before is None or info_after is None:
+        hits = misses = evictions = 0
+    else:
+        hits = info_after.hits - info_before.hits
+        misses = info_after.misses - info_before.misses
+        evictions = info_after.evictions - info_before.evictions
+    return AnalysisShard(
+        tokens=np.asarray(tokens, dtype=np.int32),
+        offsets=offsets,
+        columns=columns,
+        new_words=analyzer.interner.words_from(base),
+        base_vocab=base,
+        n_segmentations=analyzer.n_segmentations - seg_before,
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_evictions=evictions,
+    )
+
+
+def _init_worker(spec: bytes, cache_size: int | None) -> None:
+    """Process-pool initializer: one analyzer clone per worker process."""
+    global _WORKER_STATE
+    _WORKER_STATE = _make_worker_state(spec, cache_size)
+
+
+def _analyze_chunk(texts: Sequence[str]) -> AnalysisShard:
+    """Pool entry point; dispatches to the initializer-built state."""
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    return _analyze_chunk_in_state(_WORKER_STATE, texts)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _chunk_bounds(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Deterministic contiguous chunk bounds over *n* records."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (start, min(start + chunk_size, n))
+        for start in range(0, n, chunk_size)
+    ]
+
+
+def _extractor_cache_size(extractor) -> int | None:
+    cache = extractor._cache
+    return cache.maxsize if cache is not None else None
+
+
+def _run_shards(
+    extractor,
+    text_chunks: Sequence[Sequence[str]],
+    n_workers: int,
+    pool: str,
+) -> list[AnalysisShard] | None:
+    """Analyze every chunk on workers; shards come back in chunk order.
+
+    Returns ``None`` when worker processes cannot be spawned at all
+    (counted + logged; the caller runs its serial path instead).  A
+    worker dying mid-run raises :class:`ParallelAnalysisError`.
+    """
+    spec = extractor.analyzer.clone_spec()
+    cache_size = _extractor_cache_size(extractor)
+    n_workers = min(n_workers, len(text_chunks))
+    if pool == "inline":
+        # In-process simulation of the worker fleet (tests, diagnostics
+        # and the spawn-denied fallback): same per-worker clone + state
+        # code, chunks dealt round-robin so one simulated worker sees
+        # multiple chunks exactly like a real pool worker would.
+        states = [
+            _make_worker_state(spec, cache_size) for _ in range(n_workers)
+        ]
+        return [
+            _analyze_chunk_in_state(states[i % n_workers], texts)
+            for i, texts in enumerate(text_chunks)
+        ]
+    if pool != "process":
+        raise ValueError(f"pool must be 'process' or 'inline', got {pool!r}")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(spec, cache_size),
+        ) as executor:
+            return list(executor.map(_analyze_chunk, text_chunks))
+    except BrokenProcessPool as exc:
+        raise ParallelAnalysisError(
+            f"an analysis worker died mid-run ({exc}); no shards were "
+            f"merged and no partial results were committed -- re-run, "
+            f"or analyze serially with n_workers=1"
+        ) from exc
+    except (OSError, PermissionError) as exc:
+        ENGINE_STATS["serial_fallbacks"] += 1
+        _log.warning(
+            "cannot spawn analysis worker processes (%s); falling back "
+            "to in-process analysis (serial_fallbacks=%d)",
+            exc,
+            ENGINE_STATS["serial_fallbacks"],
+        )
+        return None
+
+
+def _merge_shard(extractor, shard: AnalysisShard) -> np.ndarray:
+    """Adopt one shard's vocabulary and return its remapped arena.
+
+    Also folds the shard's segmentation and cache counter deltas into
+    the parent analyzer/extractor.
+    """
+    # Bind the cache to the current interner *before* growing it, so a
+    # later serial call sees the same binding and keeps the entries.
+    interner = extractor._interner()
+    lut = merge_interners(interner, shard.new_words, shard.base_vocab)
+    extractor.analyzer.merge_counters(shard.n_segmentations)
+    extractor.absorb_worker_cache_counters(
+        shard.cache_hits, shard.cache_misses, shard.cache_evictions
+    )
+    if not shard.new_words and len(interner) == shard.base_vocab:
+        # Identity LUT: nothing grew anywhere yet, local ids == merged.
+        return shard.tokens
+    return remap_ids(shard.tokens, lut)
+
+
+def analyze_many(
+    store,
+    extractor,
+    records: Sequence,
+    n_workers: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    pool: str = "process",
+) -> int:
+    """Analyze *records* on *n_workers* processes and append to *store*.
+
+    The parallel counterpart of
+    :func:`repro.core.columnar.append_comments`: same deterministic
+    chunking, same analysis, bit-identical store content (token arena,
+    stat columns, interner snapshot) for any worker count -- only the
+    ``timestamp`` column (wall clock at append) and the parent cache's
+    *entries* (worker-side analyses are not shipped back as objects)
+    may differ from a serial run.  Returns the number of appended rows.
+
+    ``n_workers`` of ``None``/``0``/``1`` runs the serial path
+    directly.  *pool* selects real worker processes (``"process"``,
+    default) or the in-process simulation (``"inline"`` -- identical
+    results, no spawn cost; used by tests and the spawn-denied
+    fallback).
+    """
+    from repro.core.columnar import append_comments
+
+    if not n_workers or n_workers <= 1 or len(records) <= 1:
+        return append_comments(
+            store, extractor, records, chunk_size=chunk_size
+        )
+    bounds = _chunk_bounds(len(records), chunk_size)
+    text_chunks = [
+        [records[i].content for i in range(start, end)]
+        for start, end in bounds
+    ]
+    shards = _run_shards(extractor, text_chunks, n_workers, pool)
+    if shards is None:
+        return append_comments(
+            store, extractor, records, chunk_size=chunk_size
+        )
+    ENGINE_STATS["parallel_runs"] += 1
+    appended = 0
+    for (start, end), shard in zip(bounds, shards):
+        chunk = records[start:end]
+        tokens = _merge_shard(extractor, shard)
+        store.append_arrays(
+            item_ids=[int(r.item_id) for r in chunk],
+            comment_ids=[int(r.comment_id) for r in chunk],
+            tokens=tokens,
+            offsets=shard.offsets,
+            columns=shard.columns,
+        )
+        appended += len(chunk)
+    return appended
+
+
+def analyze_stats_many(
+    extractor,
+    texts: Sequence[str],
+    n_workers: int,
+    chunk_size: int | None = None,
+    pool: str = "process",
+) -> "list | None":
+    """Parallel :meth:`FeatureExtractor.comment_stats_many` backend.
+
+    Analyzes *texts* on workers, merges vocabularies deterministically,
+    and rebuilds per-comment :class:`~repro.core.features.CommentStats`
+    in the parent -- field-for-field equal to the serial objects, with
+    ``token_ids`` already in the merged (parent) id space.  Duplicate
+    texts share one stats object, and the parent cache is populated
+    with the rebuilt entries, matching the serial path's behaviour.
+
+    Returns ``None`` when workers cannot be spawned (the caller's
+    serial path takes over; the fallback is counted in
+    :data:`ENGINE_STATS`).
+    """
+    from collections import Counter
+
+    from repro.core.features import CommentStats
+
+    if chunk_size is None:
+        # Stats batches are typically served whole: one chunk per
+        # worker minimizes per-chunk spec/pickle overhead.
+        chunk_size = max(1, -(-len(texts) // max(1, n_workers)))
+    bounds = _chunk_bounds(len(texts), chunk_size)
+    text_chunks = [texts[start:end] for start, end in bounds]
+    shards = _run_shards(extractor, text_chunks, n_workers, pool)
+    if shards is None:
+        return None
+    ENGINE_STATS["parallel_runs"] += 1
+    interner = extractor._interner()
+    cache = extractor._cache
+    results: list = []
+    by_text: dict[str, object] = {}
+    for (start, end), shard in zip(bounds, shards):
+        tokens = _merge_shard(extractor, shard)
+        offsets = shard.offsets
+        columns = shard.columns
+        for j in range(end - start):
+            text = texts[start + j]
+            stats = by_text.get(text)
+            if stats is None:
+                ids = np.asarray(
+                    tokens[offsets[j] : offsets[j + 1]], dtype=np.int32
+                )
+                unique, counts = np.unique(ids, return_counts=True)
+                stats = CommentStats(
+                    n_words=int(ids.shape[0]),
+                    word_counts=Counter(
+                        dict(
+                            zip(
+                                interner.decode(unique),
+                                (int(c) for c in counts),
+                            )
+                        )
+                    ),
+                    n_positive_distinct=int(
+                        columns["n_positive_distinct"][j]
+                    ),
+                    pos_neg_delta=int(columns["pos_neg_delta"][j]),
+                    sentiment=float(columns["sentiment"][j]),
+                    entropy=float(columns["entropy"][j]),
+                    n_punctuation=int(columns["n_punctuation"][j]),
+                    punctuation_ratio=float(
+                        columns["punctuation_ratio"][j]
+                    ),
+                    n_positive_bigrams=int(
+                        columns["n_positive_bigrams"][j]
+                    ),
+                    bigram_ratio_term=float(
+                        columns["bigram_ratio_term"][j]
+                    ),
+                    token_ids=ids,
+                )
+                by_text[text] = stats
+                if cache is not None:
+                    cache.put(text, stats)
+            results.append(stats)
+    return results
+
+
+def default_workers() -> int:
+    """The CLI default worker count: every CPU the host advertises."""
+    return os.cpu_count() or 1

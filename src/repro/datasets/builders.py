@@ -86,6 +86,21 @@ class LabeledDataset:
             "comments": self.n_comments,
         }
 
+    def comment_records(self) -> list:
+        """Every comment flattened in item order (the analysis order).
+
+        The corpus the analysis engines consume: each element exposes
+        ``item_id`` / ``comment_id`` / ``content``, and the flattening
+        order is the deterministic append order both the serial
+        (:func:`repro.core.columnar.append_comments`) and parallel
+        (:func:`repro.core.parallel_analysis.analyze_many`) paths
+        preserve -- so stores built from either are comparable row for
+        row.
+        """
+        return [
+            comment for item in self.items for comment in item.comments
+        ]
+
 
 def _dataset_from_platform(
     name: str,

@@ -18,6 +18,7 @@ first.
 from __future__ import annotations
 
 import inspect
+import logging
 import pickle
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -27,6 +28,8 @@ import numpy as np
 
 from repro.ml.base import as_rng, check_X_y, spawn_seeds
 from repro.ml.metrics import precision_recall_f1
+
+_log = logging.getLogger(__name__)
 
 
 class KFold:
@@ -170,6 +173,12 @@ def _fit_and_score(task) -> tuple[float, float, float]:
     return precision_recall_f1(y[test_idx], y_pred)
 
 
+#: Times ``_map_ordered`` wanted a process pool but ran threads instead
+#: (unpicklable payload or a sandbox that forbids spawning).  Surfaced
+#: so "parallel" CV silently running under the GIL is observable.
+N_THREAD_FALLBACKS = 0
+
+
 def _map_ordered(fn: Callable, tasks: Sequence, n_workers: int | None) -> list:
     """Map *fn* over *tasks*, results in task order regardless of which
     worker finishes first (determinism does not depend on scheduling).
@@ -178,13 +187,18 @@ def _map_ordered(fn: Callable, tasks: Sequence, n_workers: int | None) -> list:
     pool; if the payload cannot be pickled (factories are usually
     lambdas/closures) or the sandbox forbids spawning processes, fall
     back to a thread pool, which always works and still overlaps the
-    GIL-releasing numpy sections of each fit.
+    GIL-releasing numpy sections of each fit.  Fallbacks are counted in
+    :data:`N_THREAD_FALLBACKS` and logged rather than swallowed.
     """
+    global N_THREAD_FALLBACKS
     if n_workers is None or n_workers <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
     max_workers = min(n_workers, len(tasks))
+    # Probe picklability on one representative task -- every task row
+    # shares the factory/arrays of the first, so pickling the whole list
+    # would cost full serialization twice for nothing.
     try:
-        pickle.dumps((fn, list(tasks)))
+        pickle.dumps((fn, tasks[0]))
         picklable = True
     except Exception:
         picklable = False
@@ -192,8 +206,19 @@ def _map_ordered(fn: Callable, tasks: Sequence, n_workers: int | None) -> list:
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 return list(pool.map(fn, tasks))
-        except (OSError, PermissionError, BrokenProcessPool):
-            pass
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            fallback_cause: object = exc
+    else:
+        fallback_cause = "payload is not picklable"
+    N_THREAD_FALLBACKS += 1
+    _log.warning(
+        "process-pool CV unavailable (%s); running %d tasks on %d "
+        "threads instead (thread_fallbacks=%d)",
+        fallback_cause,
+        len(tasks),
+        max_workers,
+        N_THREAD_FALLBACKS,
+    )
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(fn, tasks))
 

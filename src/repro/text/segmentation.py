@@ -28,7 +28,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Mapping
 
 from repro.text.tokenizer import split_punctuation
-from repro.text.trie import Trie
+from repro.text.trie import _MISSING, _WORD_KEY, Trie
 from repro.text.vocabulary import Vocabulary
 
 #: Log-probability assigned to a character that must be emitted as an
@@ -203,37 +203,69 @@ class ViterbiSegmenter(DictionarySegmenter):
             for word, count in self._counts.items()
         }
         self._trie = Trie(self._log_probs)
+        # DP buffers reused across runs (grown on demand, never shrunk):
+        # comment analysis segments millions of short runs, and
+        # allocating two fresh lists per run costs more than the
+        # relaxation itself.  Reuse makes _segment_run non-reentrant,
+        # which matches the repo-wide single-writer analysis convention
+        # (each worker process owns its private segmenter).
+        self._best: list[float] = [0.0] * 64
+        self._back: list[int] = [0] * 64
 
     def word_log_prob(self, word: str) -> float:
         """Return the smoothed unigram log-probability of *word*."""
         return self._log_probs.get(word, _OOV_LOG_PROB)
 
     def _segment_run(self, run: str) -> list[str]:
-        n = len(run)
-        if n == 0:
-            return []
         # Forward relaxation: when the outer loop reaches `start`,
         # best[start] is final (all candidate words end strictly later
         # than they begin).  best[i] = best log-prob of segmenting
-        # run[:i]; back[i] = start of the final word.
-        best = [-math.inf] * (n + 1)
-        back = [0] * (n + 1)
+        # run[:i]; back[i] = start of the final word.  The trie walk is
+        # inlined (one dict.get per character, no generator frames) and
+        # every hot name is a local; candidate relaxation order --
+        # ends ascending per start, strictly-greater updates -- is
+        # exactly the reference's, so the output is bit-identical
+        # (property-tested against _segment_run_reference).
+        n = len(run)
+        if n == 0:
+            return []
+        best = getattr(self, "_best", None)
+        back = self._back if best is not None else None
+        if best is None or len(best) <= n:
+            # First use after unpickling an old archive, or a run longer
+            # than the current buffers.
+            self._best = best = [0.0] * (2 * n + 2)
+            self._back = back = [0] * (2 * n + 2)
+        neg_inf = -math.inf
         best[0] = 0.0
-        matches_from = self._trie.matches_from
+        for i in range(1, n + 1):
+            best[i] = neg_inf
+        root = self._trie.root
+        word_key = _WORD_KEY
+        missing = _MISSING
+        oov = _OOV_LOG_PROB
         for start in range(n):
             base = best[start]
             has_single = False
-            for end, log_prob in matches_from(run, start):
-                if end == start + 1:
-                    has_single = True
-                score = base + log_prob
-                if score > best[end]:
-                    best[end] = score
-                    back[end] = start
+            node = root
+            end = start
+            while end < n:
+                node = node.get(run[end])
+                if node is None:
+                    break
+                end += 1
+                log_prob = node.get(word_key, missing)
+                if log_prob is not missing:
+                    if end == start + 1:
+                        has_single = True
+                    score = base + log_prob
+                    if score > best[end]:
+                        best[end] = score
+                        back[end] = start
             if not has_single:
                 # OOV fallback: emit run[start] as a single-character
                 # word at a strong penalty so every input segments.
-                score = base + _OOV_LOG_PROB
+                score = base + oov
                 if score > best[start + 1]:
                     best[start + 1] = score
                     back[start + 1] = start

@@ -59,6 +59,17 @@ class Trie:
         """Length of the longest inserted word."""
         return self._max_depth
 
+    @property
+    def root(self) -> dict:
+        """The root node, for callers that inline the walk.
+
+        The Viterbi segmenter's inner loop walks child dicts directly
+        (one ``dict.get`` per character, no generator frames); treat the
+        structure as read-only -- node keys are child characters plus
+        the reserved ``_WORD_KEY`` payload slot.
+        """
+        return self._root
+
     def insert(self, word: str, value: Any) -> None:
         """Store *value* under *word* (overwrites an existing payload)."""
         if not word:

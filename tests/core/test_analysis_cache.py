@@ -109,7 +109,11 @@ class TestExtractorCacheIntegration:
             extractor.comment_stats(text)
             extractor.comment_stats_many([text, text, text])
         finally:
-            analyzer.segment = original
+            # Remove the instance attribute rather than assigning the
+            # bound method back: an assigned bound method would shadow
+            # the class method forever (and smuggle a stale analyzer
+            # copy into any later clone_spec pickle).
+            del analyzer.segment
         assert calls == 1
 
     def test_eviction_and_refill_bit_identical(self, analyzer, language):

@@ -46,6 +46,47 @@ class TestMapOrdered:
     def test_serial_when_workers_none(self):
         assert _map_ordered(lambda t: t + 1, [1, 2], None) == [2, 3]
 
+    def test_probe_pickles_one_task_not_the_list(self, monkeypatch):
+        import pickle as pickle_module
+
+        from repro.ml import model_selection
+
+        probed = []
+        real_dumps = pickle_module.dumps
+
+        def spy(obj, *args, **kwargs):
+            probed.append(obj)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(model_selection.pickle, "dumps", spy)
+        tasks = list(range(50))
+        _map_ordered(lambda t: t, tasks, n_workers=2)
+        # The picklability probe must serialize (fn, first task), never
+        # the whole task list (large batches would pay serialization
+        # twice).
+        assert probed, "probe never ran"
+        fn, task = probed[0]
+        assert task == tasks[0]
+        assert not any(
+            isinstance(obj, (list, tuple)) and len(obj) == len(tasks)
+            for entry in probed
+            for obj in (entry if isinstance(entry, tuple) else (entry,))
+        )
+
+    def test_thread_fallback_is_counted(self):
+        from repro.ml import model_selection
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("not picklable")
+
+        before = model_selection.N_THREAD_FALLBACKS
+        result = _map_ordered(
+            lambda t: 1, [Unpicklable(), Unpicklable()], n_workers=2
+        )
+        assert result == [1, 1]
+        assert model_selection.N_THREAD_FALLBACKS == before + 1
+
 
 class TestParallelCrossValidate:
     def test_identical_for_1_and_4_workers(self, data):

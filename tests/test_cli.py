@@ -116,6 +116,45 @@ class TestAnalyzeCommand:
         stored = json.loads(capsys.readouterr().out)
         assert stored == live
 
+    def test_analyze_workers_store_identical_to_serial(
+        self, tmp_path, model_dir, capsys
+    ):
+        import numpy as np
+
+        from repro.core.columnar import ColumnarCommentStore
+
+        crawl_dir = tmp_path / "crawl"
+        main(["crawl", str(crawl_dir), "--scale", "0.0002", "--seed", "9"])
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        main(
+            [
+                "analyze", str(model_dir), str(crawl_dir),
+                str(serial_dir), "--workers", "1",
+            ]
+        )
+        rc = main(
+            [
+                "analyze", str(model_dir), str(crawl_dir),
+                str(parallel_dir), "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(out[-1])["workers"] == 2
+        serial = ColumnarCommentStore.load(serial_dir)
+        parallel = ColumnarCommentStore.load(parallel_dir)
+        assert np.array_equal(
+            np.asarray(serial.tokens()), np.asarray(parallel.tokens())
+        )
+        assert np.array_equal(
+            np.asarray(serial.offsets()), np.asarray(parallel.offsets())
+        )
+        assert (
+            serial.interner.export_state()["words"]
+            == parallel.interner.export_state()["words"]
+        )
+
     def test_detect_rejects_stale_store(self, tmp_path, model_dir, capsys):
         first = tmp_path / "first"
         second = tmp_path / "second"

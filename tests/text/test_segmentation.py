@@ -146,6 +146,57 @@ class TestViterbi:
         assert correct / total > 0.9
 
 
+class TestDPBufferReuse:
+    """One segmenter instance reuses its DP buffers across runs; stale
+    values from a longer earlier run must never leak into a later
+    segmentation (bit-identity against the fresh-buffer reference)."""
+
+    def _reference(self, seg, text):
+        from repro.text.tokenizer import split_punctuation
+
+        words = []
+        for run in split_punctuation(text):
+            words.extend(seg._segment_run_reference(run))
+        return words
+
+    @given(
+        st.lists(
+            st.text(alphabet="adehgimnopqz,.!", max_size=30),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60)
+    def test_sequential_segmentations_match_reference(self, texts):
+        seg = ViterbiSegmenter(LEXICON)
+        for text in texts:
+            assert seg.segment(text) == self._reference(seg, text)
+
+    def test_long_then_short_runs(self):
+        # A long run grows the buffers; the short run after it reads
+        # only freshly-reset cells.
+        seg = ViterbiSegmenter(LEXICON)
+        long_text = "haopingzhidemai" * 20
+        short_text = "zhidemai"
+        assert seg.segment(long_text) == self._reference(seg, long_text)
+        assert seg.segment(short_text) == self._reference(seg, short_text)
+        assert seg.segment(short_text) == ["zhide", "mai"]
+
+    def test_buffers_survive_pickling(self):
+        import pickle
+
+        seg = pickle.loads(pickle.dumps(ViterbiSegmenter(LEXICON)))
+        assert seg.segment("zhidemai") == ["zhide", "mai"]
+
+    def test_unpickled_pre_buffer_archive(self):
+        # Archives pickled before the DP buffers existed rebuild them
+        # lazily on first use.
+        seg = ViterbiSegmenter(LEXICON)
+        del seg._best
+        del seg._back
+        assert seg.segment("zhidemai") == ["zhide", "mai"]
+
+
 class TestCoverProperty:
     @given(
         st.lists(
