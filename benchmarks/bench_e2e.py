@@ -2,18 +2,20 @@
 
 The headline number for the deployment pipeline, at a scale-factored
 paper-D1 size (``--scale`` is the fraction of the paper's ~1.48M-item
-Taobao snapshot).  Five timed phases, one process:
+Taobao snapshot).  Six timed phases, one process:
 
 * **collect** -- materialize the D1 platform slice (items + comments +
   evidence/expert labels) through the synthetic Taobao profile;
 * **analyze** -- segment, intern and sentiment-score every comment
   through the vectorized extractor, appending each batch into a
   :class:`~repro.core.columnar.ColumnarCommentStore`; then persist the
-  store (``persist_s``) through the atomic ``.npy`` writers.  The same
-  corpus is first analyzed through the parallel sharded engine
-  (``analyze_parallel_s``, all CPUs), and the resulting store is
-  asserted bit-identical to the serial one -- the deterministic-merge
-  guarantee of :mod:`repro.core.parallel_analysis` measured end to end;
+  store (``persist_s``) through the atomic ``.npy`` writers.  On
+  multi-core hosts the same corpus is first analyzed through the
+  parallel sharded engine (``analyze_parallel_s``, all CPUs), and the
+  resulting store is asserted bit-identical to the serial one -- the
+  deterministic-merge guarantee of :mod:`repro.core.parallel_analysis`
+  measured end to end.  1-CPU hosts skip the rerun: it would double
+  bench wall time only to record a misleading "parallel" number;
 * **extract (live)** -- the pre-columnar restart path: fold per-comment
   stats into the Table II feature matrix straight from analysis;
 * **rehydrate** -- the post-columnar restart path: memory-map the
@@ -21,7 +23,11 @@ Taobao snapshot).  Five timed phases, one process:
   with **zero** re-segmentation (asserted against the analyzer's
   segmentation counter);
 * **detect** -- score the rehydrated matrix through the chunked
-  deployment classifier.
+  deployment classifier;
+* **train** -- fit the detector-settings GBDT on the D1-scale feature
+  matrix through the level-synchronous histogram engine
+  (:mod:`repro.ml.hist_engine`, threaded on multi-core hosts) -- the
+  periodic-retraining cost of the mlops loop at this scale.
 
 The benchmark *asserts* correctness before it reports timings:
 
@@ -139,23 +145,35 @@ def run(quick: bool, scale: float | None = None) -> dict:
         # Parallel analyze runs FIRST, on the pristine post-D0 interner,
         # so the deterministic shard merge does real vocabulary adoption
         # (running it second would find every D1 word already interned).
-        n_analyze_workers = max(2, os.cpu_count() or 1)
-        print(
-            f"analyze (parallel): {len(records)} comments on "
-            f"{n_analyze_workers} workers ...",
-            file=sys.stderr,
-        )
-        extractor_parallel = FeatureExtractor(analyzer)
-        store_parallel = ColumnarCommentStore(analyzer.interner)
-        t0 = time.perf_counter()
-        append_comments(
-            store_parallel,
-            extractor_parallel,
-            records,
-            chunk_size=ANALYZE_CHUNK_SIZE,
-            n_workers=n_analyze_workers,
-        )
-        analyze_parallel_s = time.perf_counter() - t0
+        # Skipped on 1-CPU hosts, where the rerun doubles wall time and
+        # the recorded "parallel" number is pure overhead.
+        n_cpus = os.cpu_count() or 1
+        store_parallel = None
+        analyze_parallel_s = None
+        n_analyze_workers = None
+        if n_cpus > 1:
+            n_analyze_workers = n_cpus
+            print(
+                f"analyze (parallel): {len(records)} comments on "
+                f"{n_analyze_workers} workers ...",
+                file=sys.stderr,
+            )
+            extractor_parallel = FeatureExtractor(analyzer)
+            store_parallel = ColumnarCommentStore(analyzer.interner)
+            t0 = time.perf_counter()
+            append_comments(
+                store_parallel,
+                extractor_parallel,
+                records,
+                chunk_size=ANALYZE_CHUNK_SIZE,
+                n_workers=n_analyze_workers,
+            )
+            analyze_parallel_s = time.perf_counter() - t0
+        else:
+            print(
+                "analyze (parallel): skipped on a 1-CPU host",
+                file=sys.stderr,
+            )
 
         print(
             f"analyze: {len(records)} comments through the extractor ...",
@@ -168,12 +186,17 @@ def run(quick: bool, scale: float | None = None) -> dict:
             store, extractor, records, chunk_size=ANALYZE_CHUNK_SIZE
         )
         analyze_s = time.perf_counter() - t0
-        assert np.array_equal(
-            np.asarray(store_parallel.tokens()), np.asarray(store.tokens())
-        ) and np.array_equal(
-            np.asarray(store_parallel.offsets()),
-            np.asarray(store.offsets()),
-        ), "parallel analyze must produce the serial token arena bit for bit"
+        if store_parallel is not None:
+            assert np.array_equal(
+                np.asarray(store_parallel.tokens()),
+                np.asarray(store.tokens()),
+            ) and np.array_equal(
+                np.asarray(store_parallel.offsets()),
+                np.asarray(store.offsets()),
+            ), (
+                "parallel analyze must produce the serial token arena "
+                "bit for bit"
+            )
         t0 = time.perf_counter()
         store.save(store_dir)
         persist_s = time.perf_counter() - t0
@@ -199,13 +222,14 @@ def run(quick: bool, scale: float | None = None) -> dict:
             "live-analysis matrix bit for bit"
         )
 
-        item_ids = [item.item_id for item in d1.items]
-        assert np.array_equal(
-            live, store_parallel.feature_matrix(item_ids)
-        ), (
-            "parallel-analyzed feature matrix must equal the "
-            "live-analysis matrix bit for bit"
-        )
+        if store_parallel is not None:
+            item_ids = [item.item_id for item in d1.items]
+            assert np.array_equal(
+                live, store_parallel.feature_matrix(item_ids)
+            ), (
+                "parallel-analyzed feature matrix must equal the "
+                "live-analysis matrix bit for bit"
+            )
 
         print("detect: chunked scoring ...", file=sys.stderr)
         t0 = time.perf_counter()
@@ -214,10 +238,28 @@ def run(quick: bool, scale: float | None = None) -> dict:
         )
         detect_s = time.perf_counter() - t0
 
+        print(
+            "train: detector-settings GBDT on the D1 matrix ...",
+            file=sys.stderr,
+        )
+        from repro.ml import GradientBoostingClassifier
+
+        train_workers = min(n_cpus, 8) if n_cpus > 1 else None
+        retrain_model = GradientBoostingClassifier(
+            n_estimators=30 if quick else 120,
+            learning_rate=0.2,
+            max_depth=4,
+            n_tree_workers=train_workers,
+            seed=0,
+        )
+        t0 = time.perf_counter()
+        retrain_model.fit(rehydrated, d1.labels)
+        train_s = time.perf_counter() - t0
+
         store_stats = loaded.stats()
 
     total_s = collect_s + analyze_s + persist_s + extract_live_s
-    total_s += rehydrate_s + detect_s
+    total_s += rehydrate_s + detect_s + train_s
     return {
         "quick": quick,
         "d1_scale": d1_scale,
@@ -228,13 +270,19 @@ def run(quick: bool, scale: float | None = None) -> dict:
         "arena_mib": round(store_stats["arena_bytes"] / 2**20, 2),
         "collect_s": round(collect_s, 3),
         "analyze_s": round(analyze_s, 3),
-        "analyze_parallel_s": round(analyze_parallel_s, 3),
+        "analyze_parallel_s": (
+            None if analyze_parallel_s is None
+            else round(analyze_parallel_s, 3)
+        ),
         "n_analyze_workers": n_analyze_workers,
-        "n_cpus": os.cpu_count(),
+        "n_cpus": n_cpus,
         "persist_s": round(persist_s, 3),
         "extract_live_s": round(extract_live_s, 3),
         "rehydrate_s": round(rehydrate_s, 3),
         "detect_s": round(detect_s, 3),
+        "train_s": round(train_s, 3),
+        "n_train_trees": retrain_model.n_estimators,
+        "n_tree_workers": train_workers,
         "total_s": round(total_s, 3),
         "rehydrate_speedup": round(
             (analyze_s + extract_live_s) / max(rehydrate_s, 1e-9), 1

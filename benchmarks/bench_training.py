@@ -3,9 +3,10 @@
 Measures the three training-path optimizations against the retained
 reference implementations:
 
-* **GBDT** -- ``tree_method="hist"`` (quantile binning + ``bincount``
-  histograms + sibling subtraction) vs ``tree_method="exact"`` (greedy
-  sorted-column scan) on a synthetic D0-scale dataset, with the
+* **GBDT** -- ``tree_method="hist"`` (the level-synchronous histogram
+  engine, serial and thread-parallel) vs ``tree_method="hist-pernode"``
+  (the retained per-node histogram builder) vs ``tree_method="exact"``
+  (greedy sorted-column scan) on a synthetic D0-scale dataset, with the
   detector's hyperparameters;
 * **cross-validation** -- five-fold CV over the Table III candidate
   classifiers, serial vs ``n_workers=4``;
@@ -14,10 +15,17 @@ reference implementations:
 
 The benchmark *asserts* correctness before it reports timings:
 
+* the level engine must be **byte-identical** to the per-node hist
+  builder (trees and margins, for every worker count measured);
 * hist and exact must land within ``MAX_F1_GAP`` (0.01) test-set F1 of
   each other, and hist must clear the speedup floor (``MIN_GBDT_SPEEDUP``
   = 3x at full scale; quick scale only sanity-checks >= 1x because
   binning amortizes over rows and rounds);
+* at full scale on hosts with >= ``MIN_CPUS_FOR_ENGINE_FLOOR`` CPUs the
+  threaded engine must be >= ``MIN_ENGINE_SPEEDUP`` x the per-node
+  builder (the same ``n_cpus`` gating convention as BENCH_analyze /
+  BENCH_cluster; the recorded ``n_cpus`` makes 1-CPU artifacts
+  self-explaining);
 * ``cross_validate`` must return **bitwise identical** metric dicts for
   ``n_workers`` in {1, 4}, for every candidate classifier;
 * both ``expand_lexicon`` paths must produce **identical** lexicons.
@@ -38,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -68,6 +77,13 @@ MAX_F1_GAP = 0.01
 #: The quick test split is only a few hundred rows, so single-flip F1
 #: noise dominates; the 0.01 criterion applies at D0 scale.
 MAX_F1_GAP_QUICK = 0.03
+#: Acceptance floor for the threaded level engine over the per-node
+#: hist builder at full scale ...
+MIN_ENGINE_SPEEDUP = 2.0
+#: ... enforced only on hosts with at least this many CPUs (the same
+#: gating convention as BENCH_analyze / BENCH_cluster: thread speedups
+#: are meaningless on 1-CPU runners).
+MIN_CPUS_FOR_ENGINE_FLOOR = 4
 
 CV_WORKER_COUNTS = (1, 4)
 
@@ -85,29 +101,79 @@ def synthetic_d0(n: int, seed: int = 0):
     return X[n_test:], y[n_test:], X[:n_test], y[:n_test]
 
 
+def _assert_same_model(reference, other, X_train, label: str) -> None:
+    """Byte-identity: trees (all node arrays) and training margins."""
+    assert len(reference.trees_) == len(other.trees_), label
+    for tree_a, tree_b in zip(reference.trees_, other.trees_):
+        for field in (
+            "children_left",
+            "children_right",
+            "feature",
+            "threshold",
+            "leaf_weight",
+            "split_gain",
+        ):
+            assert np.array_equal(
+                getattr(tree_a, field), getattr(tree_b, field)
+            ), f"{label}: tree field {field} differs"
+    assert np.array_equal(
+        reference.decision_function_reference(X_train),
+        other.decision_function_reference(X_train),
+    ), f"{label}: margins differ"
+
+
 def bench_gbdt(quick: bool) -> dict:
-    """Hist vs exact fit time and held-out F1 at detector settings."""
+    """Level engine vs per-node hist vs exact, at detector settings.
+
+    Asserts the engine's bit-identity to the per-node builder (serial
+    and threaded) before reporting any timing.
+    """
     n = 3000 if quick else 16000  # 12k train rows at full scale
     n_estimators = 30 if quick else 120
+    n_cpus = os.cpu_count() or 1
     X_train, y_train, X_test, y_test = synthetic_d0(n)
     out: dict[str, float] = {}
-    for method in ("exact", "hist"):
+
+    def fit_timed(key: str, **kwargs) -> GradientBoostingClassifier:
         model = GradientBoostingClassifier(
             n_estimators=n_estimators,
             learning_rate=0.2,
             max_depth=4,
-            tree_method=method,
             seed=0,
+            **kwargs,
         )
         t0 = time.perf_counter()
         model.fit(X_train, y_train)
-        out[f"{method}_fit_s"] = round(time.perf_counter() - t0, 3)
-        out[f"{method}_test_f1"] = round(
+        out[f"{key}_fit_s"] = round(time.perf_counter() - t0, 3)
+        out[f"{key}_test_f1"] = round(
             f1_score(y_test, model.predict(X_test)), 4
         )
+        return model
+
+    exact = fit_timed("exact", tree_method="exact")
+    pernode = fit_timed("hist_pernode", tree_method="hist-pernode")
+    engine = fit_timed("hist", tree_method="hist")
+    _assert_same_model(pernode, engine, X_train, "engine(serial) vs pernode")
+
+    engine_best_s = out["hist_fit_s"]
+    if n_cpus > 1:
+        workers = min(n_cpus, 8)
+        threaded = fit_timed(
+            "hist_parallel", tree_method="hist", n_tree_workers=workers
+        )
+        _assert_same_model(
+            pernode, threaded, X_train, f"engine({workers} threads) vs pernode"
+        )
+        out["hist_parallel_workers"] = workers
+        engine_best_s = min(engine_best_s, out["hist_parallel_fit_s"])
+
     out["n_train_rows"] = len(y_train)
     out["n_estimators"] = n_estimators
     out["speedup"] = round(out["exact_fit_s"] / out["hist_fit_s"], 2)
+    out["engine_speedup_vs_pernode"] = round(
+        out["hist_pernode_fit_s"] / engine_best_s, 2
+    )
+    out["engine_bit_identical"] = True  # asserted above
     out["f1_gap"] = round(abs(out["hist_test_f1"] - out["exact_test_f1"]), 4)
     return out
 
@@ -208,7 +274,13 @@ def run(quick: bool) -> dict:
     cv = bench_cross_validation(quick)
     print("benchmarking lexicon expansion ...", file=sys.stderr)
     lexicon = bench_lexicon(quick)
-    return {"quick": quick, "gbdt": gbdt, "cv": cv, "lexicon": lexicon}
+    return {
+        "quick": quick,
+        "n_cpus": os.cpu_count() or 1,
+        "gbdt": gbdt,
+        "cv": cv,
+        "lexicon": lexicon,
+    }
 
 
 def render(result: dict) -> str:
@@ -237,6 +309,9 @@ def check_acceptance(result: dict) -> None:
     gbdt = result["gbdt"]
     floor = MIN_GBDT_SPEEDUP_QUICK if result["quick"] else MIN_GBDT_SPEEDUP
     gap_cap = MAX_F1_GAP_QUICK if result["quick"] else MAX_F1_GAP
+    assert gbdt["engine_bit_identical"], (
+        "level engine diverged from the per-node hist builder"
+    )
     assert gbdt["speedup"] >= floor, (
         f"hist GBDT only {gbdt['speedup']}x the exact path "
         f"(need >= {floor}x)"
@@ -244,6 +319,14 @@ def check_acceptance(result: dict) -> None:
     assert gbdt["f1_gap"] <= gap_cap, (
         f"hist-vs-exact F1 gap {gbdt['f1_gap']} exceeds {gap_cap}"
     )
+    # Thread-speedup floor only where threads can help (gated on the
+    # recorded n_cpus, like BENCH_analyze / BENCH_cluster).
+    if not result["quick"] and result["n_cpus"] >= MIN_CPUS_FOR_ENGINE_FLOOR:
+        assert gbdt["engine_speedup_vs_pernode"] >= MIN_ENGINE_SPEEDUP, (
+            f"level engine only {gbdt['engine_speedup_vs_pernode']}x the "
+            f"per-node builder on a {result['n_cpus']}-CPU host "
+            f"(need >= {MIN_ENGINE_SPEEDUP}x)"
+        )
     assert result["cv"]["bitwise_identical"]
     assert result["lexicon"]["identical"]
 

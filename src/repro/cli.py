@@ -103,7 +103,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(
         f"training CATS (D0 scale {args.scale}) ...", file=sys.stderr
     )
-    cats, d0 = train_cats(default_language(), d0_scale=args.scale)
+    cats, d0 = train_cats(
+        default_language(),
+        d0_scale=args.scale,
+        tree_workers=args.tree_workers,
+    )
     save_cats(cats, args.model_dir)
     features = cats.extract_features(d0.items)
     # The training-time feature distribution travels with the archive
@@ -665,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cv-workers", type=int, default=None,
         help="fit CV folds on this many workers (default serial; "
         "metrics are identical for any worker count)",
+    )
+    train.add_argument(
+        "--tree-workers", type=int, default=None,
+        help="threads for the GBDT level-histogram engine (default "
+        "single-threaded; the trained model is bit-identical for any "
+        "value)",
     )
     train.add_argument(
         "--registry", default=None, metavar="DIR",

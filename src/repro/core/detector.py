@@ -115,6 +115,13 @@ class Detector:
         y = np.asarray(labels)
         name = self.config.classifier
         self._model = CLASSIFIER_FACTORIES[name](self.config.seed)
+        if (
+            self.config.tree_workers is not None
+            and isinstance(self._model, GradientBoostingClassifier)
+        ):
+            # Speed knob only: the level engine is bit-identical for
+            # any worker count, so the trained detector is unchanged.
+            self._model.n_tree_workers = self.config.tree_workers
         if name in SCALED_CLASSIFIERS:
             self._scaler = StandardScaler().fit(X)
             X = self._scaler.transform(X)

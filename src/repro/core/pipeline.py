@@ -15,7 +15,7 @@ benchmark harness calls:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -70,8 +70,20 @@ def train_cats(
     config: CATSConfig | None = None,
     analyzer_seed: int = 500,
     d0_seed: int = 100,
+    tree_workers: int | None = None,
 ) -> tuple[CATS, LabeledDataset]:
-    """Train the full system: analyzer + detector pre-trained on D0."""
+    """Train the full system: analyzer + detector pre-trained on D0.
+
+    ``tree_workers`` threads the GBDT histogram engine during the
+    detector fit (``DetectorConfig.tree_workers``); the trained system
+    is bit-identical for any value.
+    """
+    if tree_workers is not None:
+        config = config or CATSConfig()
+        config = replace(
+            config,
+            detector=replace(config.detector, tree_workers=tree_workers),
+        )
     analyzer = build_analyzer(language, config=config, seed=analyzer_seed)
     cats = CATS(analyzer, config=config)
     d0 = build_d0(language, scale=d0_scale, seed=d0_seed)

@@ -8,15 +8,22 @@ implements the algorithm of Chen & Guestrin (KDD'16) from scratch:
   ``w* = -G / (H + lambda)`` and split gain
   ``1/2 * [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)] - gamma``;
 * shrinkage (``learning_rate``), row subsampling and column subsampling;
-* two split-finding strategies, selected by ``tree_method``:
+* three split-finding strategies, selected by ``tree_method``:
 
   - ``"hist"`` (the default): features are pre-binned *once per fit*
-    into at most ``n_bins`` quantile bins (uint8 codes).  Each node
-    builds per-bin gradient/hessian histograms with ``np.bincount``,
-    scans bin boundaries for the best split, and derives one child's
-    histogram from its sibling by subtraction (parent - child), as in
-    LightGBM.  Split-finding cost per node is O(rows + bins) instead
-    of O(rows * log rows) per feature.
+    into at most ``n_bins`` quantile bins (uint8 codes), then trees are
+    grown by the level-synchronous engine of
+    :mod:`repro.ml.hist_engine` -- one composite-code ``np.bincount``
+    per tree level builds every node's gradient/hessian histograms at
+    once, sibling histograms derive by subtraction (parent - child, as
+    in LightGBM), the best split of every node is found by one
+    vectorized scan over the level's cumsum tensor, and
+    ``n_tree_workers`` threads can bincount contiguous feature blocks
+    concurrently.  Bit-identical to ``"hist-pernode"`` for any worker
+    count (see the engine module docstring for the ordering argument).
+  - ``"hist-pernode"``: the original per-node histogram builder, kept
+    as the engine's bit-identity reference -- a gather plus one flat
+    ``np.bincount`` per node, boundary scan per feature in Python.
   - ``"exact"``: greedy split finding over sorted columns, kept as the
     quality-parity reference.  Each column is argsorted once at the
     tree root; nodes recover their sorted order by filtering the root
@@ -29,8 +36,8 @@ simultaneously, with opt-in ``chunk_size`` / ``n_workers`` batch
 scoring; ``decision_function_reference`` keeps the per-tree loop as
 the bit-identity oracle.  During ``fit`` the margin update reuses the
 leaf assignment recorded while each tree was grown (a gather instead
-of a re-traversal; rows left out by ``subsample`` still take
-``tree.predict``).
+of a re-traversal); under ``subsample`` the gather covers the sampled
+rows and only the left-out rows take ``tree.predict``.
 
 Feature importance is exposed both as split counts (the "weight"
 importance the paper plots in its Fig. 7: "the times this feature is
@@ -516,8 +523,11 @@ class GradientBoostingClassifier(BaseClassifier):
     (L2 on leaf weights), ``gamma`` (min split gain), ``min_child_weight``
     (min hessian per child), ``subsample`` (row sampling per round) and
     ``colsample`` (column sampling per tree); plus ``tree_method``
-    (``"hist"`` default, ``"exact"`` reference) and ``n_bins`` (histogram
-    resolution, at most 256).
+    (``"hist"`` default -- the level-synchronous engine;
+    ``"hist-pernode"`` and ``"exact"`` are the retained references),
+    ``n_bins`` (histogram resolution, at most 256) and
+    ``n_tree_workers`` (threads bincounting feature blocks per level
+    under ``"hist"``; the fitted model is bit-identical for any value).
     """
 
     def __init__(
@@ -532,6 +542,7 @@ class GradientBoostingClassifier(BaseClassifier):
         colsample: float = 1.0,
         tree_method: str = "hist",
         n_bins: int = _MAX_BINS,
+        n_tree_workers: int | None = None,
         seed: int | np.random.Generator | None = 0,
     ) -> None:
         if n_estimators < 1:
@@ -544,13 +555,18 @@ class GradientBoostingClassifier(BaseClassifier):
             raise ValueError(f"subsample must be in (0, 1], got {subsample}")
         if not 0.0 < colsample <= 1.0:
             raise ValueError(f"colsample must be in (0, 1], got {colsample}")
-        if tree_method not in ("hist", "exact"):
+        if tree_method not in ("hist", "hist-pernode", "exact"):
             raise ValueError(
-                f"tree_method must be 'hist' or 'exact', got {tree_method!r}"
+                "tree_method must be 'hist', 'hist-pernode' or 'exact', "
+                f"got {tree_method!r}"
             )
         if not 2 <= n_bins <= _MAX_BINS:
             raise ValueError(
                 f"n_bins must be in [2, {_MAX_BINS}], got {n_bins}"
+            )
+        if n_tree_workers is not None and n_tree_workers < 1:
+            raise ValueError(
+                f"n_tree_workers must be >= 1, got {n_tree_workers}"
             )
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
@@ -562,6 +578,7 @@ class GradientBoostingClassifier(BaseClassifier):
         self.colsample = colsample
         self.tree_method = tree_method
         self.n_bins = n_bins
+        self.n_tree_workers = n_tree_workers
         self._seed = seed
 
     def fit(self, X, y) -> "GradientBoostingClassifier":
@@ -572,12 +589,29 @@ class GradientBoostingClassifier(BaseClassifier):
         n = len(y_arr)
         y_float = y_arr.astype(np.float64)
 
-        if self.tree_method == "hist":
+        if self.tree_method in ("hist", "hist-pernode"):
             mapper = _BinMapper(self.n_bins)
             codes = mapper.fit_transform(X_arr)
             split_points = mapper.split_points_
         else:
             codes = split_points = None
+        engine = None
+        if self.tree_method == "hist":
+            from repro.ml.hist_engine import LevelHistEngine
+
+            # One engine per fit: the flat-code layout, per-level
+            # histogram buffers and worker threads persist across
+            # boosting rounds.
+            engine = LevelHistEngine(
+                codes=codes,
+                split_points=split_points,
+                max_depth=self.max_depth,
+                min_child_weight=self.min_child_weight,
+                reg_lambda=self.reg_lambda,
+                gamma=self.gamma,
+                colsample=self.colsample,
+                n_workers=self.n_tree_workers,
+            )
 
         # Initialize at the log-odds of the base rate, like xgboost's
         # base_score after the first boosting round.
@@ -587,50 +621,64 @@ class GradientBoostingClassifier(BaseClassifier):
         margin = np.full(n, self.base_margin_, dtype=np.float64)
         self.trees_: list[_BoostTree] = []
         self._packed = None
-        # With every row in the tree, the builder's recorded leaf
-        # assignment replaces the margin-update re-traversal of X: one
-        # leaf-weight gather per round, bit-identical to tree.predict
-        # (builders partition on the same `x <= threshold` predicate).
-        # Subsampled rounds still re-traverse, since out-of-sample rows
-        # have no recorded leaf.  `_margin_via_gather` exists for the
+        # The builder-recorded leaf assignment replaces the margin-update
+        # re-traversal of X: one leaf-weight gather per round,
+        # bit-identical to tree.predict (builders partition on the same
+        # `x <= threshold` predicate).  Subsampled rounds gather over the
+        # sampled rows and re-traverse only the left-out rows, which have
+        # no recorded leaf.  `_margin_via_gather` exists for the
         # equivalence regression test.
-        use_gather = self.subsample >= 1.0 and getattr(
-            self, "_margin_via_gather", True
-        )
-        for _ in range(self.n_estimators):
-            prob = stable_sigmoid(margin)
-            grad = prob - y_float
-            hess = prob * (1.0 - prob)
-            if self.subsample < 1.0:
-                n_rows = max(2, int(round(self.subsample * n)))
-                rows = np.sort(rng.choice(n, size=n_rows, replace=False))
-            else:
-                rows = np.arange(n)
-            if self.tree_method == "hist":
-                tree, leaf_of = _HistTreeBuilder(
-                    codes=codes,
-                    split_points=split_points,
-                    max_depth=self.max_depth,
-                    min_child_weight=self.min_child_weight,
-                    reg_lambda=self.reg_lambda,
-                    gamma=self.gamma,
-                    colsample=self.colsample,
-                    rng=rng,
-                ).build(grad, hess, rows)
-            else:
-                tree, leaf_of = _BoostTreeBuilder(
-                    max_depth=self.max_depth,
-                    min_child_weight=self.min_child_weight,
-                    reg_lambda=self.reg_lambda,
-                    gamma=self.gamma,
-                    colsample=self.colsample,
-                    rng=rng,
-                ).build(X_arr, grad, hess, rows)
-            if use_gather:
-                margin += self.learning_rate * tree.leaf_weight[leaf_of]
-            else:
-                margin += self.learning_rate * tree.predict(X_arr)
-            self.trees_.append(tree)
+        use_gather = getattr(self, "_margin_via_gather", True)
+        try:
+            for _ in range(self.n_estimators):
+                prob = stable_sigmoid(margin)
+                grad = prob - y_float
+                hess = prob * (1.0 - prob)
+                if self.subsample < 1.0:
+                    n_rows = max(2, int(round(self.subsample * n)))
+                    rows = np.sort(rng.choice(n, size=n_rows, replace=False))
+                else:
+                    rows = np.arange(n)
+                if engine is not None:
+                    tree, leaf_of = engine.build(grad, hess, rows, rng)
+                elif self.tree_method == "hist-pernode":
+                    tree, leaf_of = _HistTreeBuilder(
+                        codes=codes,
+                        split_points=split_points,
+                        max_depth=self.max_depth,
+                        min_child_weight=self.min_child_weight,
+                        reg_lambda=self.reg_lambda,
+                        gamma=self.gamma,
+                        colsample=self.colsample,
+                        rng=rng,
+                    ).build(grad, hess, rows)
+                else:
+                    tree, leaf_of = _BoostTreeBuilder(
+                        max_depth=self.max_depth,
+                        min_child_weight=self.min_child_weight,
+                        reg_lambda=self.reg_lambda,
+                        gamma=self.gamma,
+                        colsample=self.colsample,
+                        rng=rng,
+                    ).build(X_arr, grad, hess, rows)
+                if not use_gather:
+                    margin += self.learning_rate * tree.predict(X_arr)
+                elif len(rows) == n:
+                    margin += self.learning_rate * tree.leaf_weight[leaf_of]
+                else:
+                    margin[rows] += (
+                        self.learning_rate * tree.leaf_weight[leaf_of[rows]]
+                    )
+                    out = np.ones(n, dtype=bool)
+                    out[rows] = False
+                    out_rows = np.flatnonzero(out)
+                    margin[out_rows] += (
+                        self.learning_rate * tree.predict(X_arr[out_rows])
+                    )
+                self.trees_.append(tree)
+        finally:
+            if engine is not None:
+                engine.close()
         return self
 
     def _packed_ensemble(self):

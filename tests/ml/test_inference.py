@@ -215,15 +215,23 @@ class TestFitLeafGather:
     @settings(deadline=None, max_examples=15, derandomize=True)
     @given(
         seed=st.integers(0, 30),
-        tree_method=st.sampled_from(["hist", "exact"]),
+        tree_method=st.sampled_from(["hist", "hist-pernode", "exact"]),
+        subsample=st.sampled_from([1.0, 0.6]),
     )
-    def test_gather_update_identical_to_retraversal(self, seed, tree_method):
+    def test_gather_update_identical_to_retraversal(
+        self, seed, tree_method, subsample
+    ):
         """The builder's recorded leaf assignment must reproduce the
         margin the re-traversal produced, so the fitted models match
-        tree for tree."""
+        tree for tree -- including subsampled rounds, where the gather
+        covers the sampled rows and only left-out rows re-traverse."""
         X, y = make_data(seed, 150, 5)
         kwargs = dict(
-            n_estimators=6, max_depth=3, tree_method=tree_method, seed=seed
+            n_estimators=6,
+            max_depth=3,
+            tree_method=tree_method,
+            subsample=subsample,
+            seed=seed,
         )
         gathered = GradientBoostingClassifier(**kwargs)
         gathered.fit(X, y)
@@ -241,9 +249,9 @@ class TestFitLeafGather:
             retraversed.decision_function(X_test),
         )
 
-    def test_subsample_falls_back_to_retraversal(self):
-        """Out-of-sample rows have no recorded leaf; subsampled fits
-        must still train (via tree.predict) and score correctly."""
+    def test_subsample_gathers_sampled_rows(self):
+        """Subsampled fits gather leaf weights for the sampled rows and
+        re-traverse only the complement, and still score correctly."""
         X, y = make_data(11, 300, 5)
         model = GradientBoostingClassifier(
             n_estimators=5, subsample=0.6, seed=11

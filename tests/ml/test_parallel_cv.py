@@ -73,6 +73,35 @@ class TestMapOrdered:
             for obj in (entry if isinstance(entry, tuple) else (entry,))
         )
 
+    def test_one_worker_never_builds_a_pool(self, monkeypatch, data):
+        """n_workers=1 must run inline: no process/thread pool, no
+        pickle probe -- spawn+serialization overhead for nothing (the
+        checked-in 1-CPU BENCH_training artifact showed 'parallel' CV
+        slower than serial purely from that overhead)."""
+        from repro.ml import model_selection
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pool built for n_workers=1")
+
+        monkeypatch.setattr(model_selection, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(model_selection, "ThreadPoolExecutor", boom)
+        monkeypatch.setattr(model_selection.pickle, "dumps", boom)
+        assert _map_ordered(lambda t: t * 2, [1, 2, 3], n_workers=1) == [
+            2,
+            4,
+            6,
+        ]
+        X, y = data
+        cross_validate(GaussianNB, X, y, n_splits=3, n_workers=1)
+        grid_search(
+            lambda **kw: GaussianNB(),
+            {"var_smoothing": [1e-9]},
+            X,
+            y,
+            n_splits=3,
+            n_workers=1,
+        )
+
     def test_thread_fallback_is_counted(self):
         from repro.ml import model_selection
 

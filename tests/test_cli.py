@@ -25,6 +25,13 @@ class TestParser:
             ["train", "/tmp/m", "--scale", "0.01"]
         )
         assert args.scale == 0.01
+        assert args.tree_workers is None
+
+    def test_train_tree_workers(self):
+        args = build_parser().parse_args(
+            ["train", "/tmp/m", "--tree-workers", "4"]
+        )
+        assert args.tree_workers == 4
 
     def test_unknown_platform_rejected(self):
         with pytest.raises(SystemExit):
